@@ -1,0 +1,58 @@
+//! Candidate-cluster generation cost (§V-C): batch agglomerative
+//! clustering vs the incremental one-pass variant, across mention-set
+//! sizes typical for candidate surface forms.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ngl_cluster::{agglomerative, OnlineClusters};
+
+fn mention_embeddings(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            // Two underlying candidates (ambiguous surface form).
+            let axis = i % 2;
+            (0..dim)
+                .map(|c| {
+                    let base = if c == axis { 1.0 } else { 0.0 };
+                    base + rng.gen_range(-0.2..0.2f32)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_agglomerative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agglomerative");
+    group.sample_size(20);
+    for n in [20usize, 100, 400] {
+        let points = mention_embeddings(n, 32, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| agglomerative(black_box(&points), 0.5).n_clusters)
+        });
+    }
+    group.finish();
+}
+
+fn bench_online(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_clusters");
+    group.sample_size(30);
+    for n in [100usize, 1000, 4000] {
+        let points = mention_embeddings(n, 32, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut oc = OnlineClusters::new(0.5);
+                for p in &points {
+                    oc.insert(black_box(p));
+                }
+                oc.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_agglomerative, bench_online);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Mention-extraction scan throughput (§V-A) — the Global NER step that
+//! touches every token of the stream, so its cost dominates the Table IV
+//! time-overhead column together with clustering.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ngl_corpus::{Dataset, DatasetSpec, KnowledgeBase, Topic};
+use ngl_ctrie::CTrie;
+
+fn build(n_surfaces: usize) -> (CTrie, Vec<Vec<String>>) {
+    let kb = KnowledgeBase::build(7, 200);
+    let d = Dataset::generate(
+        &DatasetSpec::streaming("bench", 400, vec![Topic::Health], 11),
+        &kb,
+    );
+    let mut trie = CTrie::new();
+    for e in kb.entities().iter().take(n_surfaces) {
+        for a in &e.aliases {
+            let toks: Vec<&str> = a.iter().map(String::as_str).collect();
+            trie.insert(&toks);
+        }
+    }
+    let sentences = d.tweets.into_iter().map(|t| t.tokens).collect();
+    (trie, sentences)
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctrie_scan");
+    group.sample_size(30);
+    for n_surfaces in [50usize, 200, 800] {
+        let (trie, sentences) = build(n_surfaces);
+        group.bench_with_input(
+            BenchmarkId::new("400_tweets", n_surfaces),
+            &n_surfaces,
+            |b, _| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for s in &sentences {
+                        total += trie.extract_mentions(black_box(s), 4).len();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let kb = KnowledgeBase::build(9, 400);
+    c.bench_function("ctrie_insert_2000_surfaces", |b| {
+        b.iter(|| {
+            let mut trie = CTrie::new();
+            for e in kb.entities() {
+                for a in &e.aliases {
+                    let toks: Vec<&str> = a.iter().map(String::as_str).collect();
+                    trie.insert(black_box(&toks));
+                }
+            }
+            trie.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_scan, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Local NER encoding throughput — the Table IV "Local NER execution
+//! time" column is dominated by this kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ngl_corpus::{Dataset, DatasetSpec, KnowledgeBase, Topic};
+use ngl_encoder::{EncoderConfig, TokenEncoder};
+
+fn setup() -> (TokenEncoder, Vec<Vec<String>>) {
+    let kb = KnowledgeBase::build(3, 100);
+    let d = Dataset::generate(
+        &DatasetSpec::streaming("bench", 200, vec![Topic::Politics], 17),
+        &kb,
+    );
+    let enc = TokenEncoder::new(EncoderConfig::default());
+    (enc, d.tweets.into_iter().map(|t| t.tokens).collect())
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let (enc, sentences) = setup();
+    let total_tokens: usize = sentences.iter().map(Vec::len).sum();
+    let mut group = c.benchmark_group("encoder");
+    group.sample_size(20);
+    group.throughput(criterion::Throughput::Elements(total_tokens as u64));
+    group.bench_function("encode_200_tweets", |b| {
+        b.iter(|| {
+            let mut spans = 0usize;
+            for s in &sentences {
+                let out = enc.encode_sentence(black_box(s));
+                spans += out.tags.len();
+            }
+            spans
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Phrase-embedding and attention-pooling throughput (§V-B, Eqs. 1–3 and
+//! 6–8) — the per-mention costs of Global NER.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ngl_core::{ClassifierConfig, EntityClassifier, PhraseEmbedder, PhraseEmbedderConfig};
+use ngl_nn::Matrix;
+use ngl_text::{EntityType, Span};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
+    )
+}
+
+fn bench_embed(c: &mut Criterion) {
+    let dim = 32;
+    let embedder = PhraseEmbedder::new(PhraseEmbedderConfig { dim, ..Default::default() });
+    let sentence = random_matrix(16, dim, 5);
+    let mut group = c.benchmark_group("phrase_embed");
+    for len in [1usize, 2, 4] {
+        let span = Span::new(3, 3 + len, EntityType::Person);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| embedder.embed(black_box(&sentence), black_box(&span)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool_and_classify(c: &mut Criterion) {
+    let dim = 32;
+    let classifier = EntityClassifier::new(ClassifierConfig { dim, ..Default::default() });
+    let mut group = c.benchmark_group("classify_cluster");
+    for n in [1usize, 10, 100, 1000] {
+        let locals = random_matrix(n, dim, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| classifier.predict(black_box(&locals)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embed, bench_pool_and_classify);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! End-to-end pipeline stage costs — the Table IV claim under test is
+//! that Global NER adds only a *small* overhead on top of Local NER.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ngl_core::{
+    AblationMode, ClassifierConfig, EntityClassifier, GlobalizerConfig, NerGlobalizer,
+    PhraseEmbedder, PhraseEmbedderConfig,
+};
+use ngl_corpus::{Dataset, DatasetSpec, KnowledgeBase, Topic};
+use ngl_encoder::{EncoderConfig, TokenEncoder};
+
+fn setup() -> (TokenEncoder, PhraseEmbedder, EntityClassifier, Vec<Vec<String>>) {
+    let dim = 32;
+    let kb = KnowledgeBase::build(13, 100);
+    let d = Dataset::generate(
+        &DatasetSpec::streaming("bench", 300, vec![Topic::Health], 29),
+        &kb,
+    );
+    (
+        TokenEncoder::new(EncoderConfig { out_dim: dim, ..Default::default() }),
+        PhraseEmbedder::new(PhraseEmbedderConfig { dim, ..Default::default() }),
+        EntityClassifier::new(ClassifierConfig { dim, ..Default::default() }),
+        d.tweets.into_iter().map(|t| t.tokens).collect(),
+    )
+}
+
+fn bench_local_stage(c: &mut Criterion) {
+    let (enc, phrase, clf, sentences) = setup();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("local_stage_300_tweets", |b| {
+        b.iter(|| {
+            let mut p = NerGlobalizer::new(
+                enc.clone(),
+                phrase.clone(),
+                clf.clone(),
+                GlobalizerConfig { ablation: AblationMode::LocalOnly, ..Default::default() },
+            );
+            p.process_batch(black_box(&sentences));
+            p.n_surfaces()
+        })
+    });
+    group.finish();
+}
+
+fn bench_global_stage(c: &mut Criterion) {
+    let (enc, phrase, clf, sentences) = setup();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("full_pipeline_300_tweets", |b| {
+        b.iter(|| {
+            let mut p = NerGlobalizer::new(
+                enc.clone(),
+                phrase.clone(),
+                clf.clone(),
+                GlobalizerConfig::default(),
+            );
+            p.process_batch(black_box(&sentences));
+            p.finalize().len()
+        })
+    });
+    // The interesting number: global overhead in isolation (re-running
+    // finalize on an already-processed stream).
+    let mut p = NerGlobalizer::new(enc, phrase, clf, GlobalizerConfig::default());
+    p.process_batch(&sentences);
+    group.bench_function("global_stage_only_300_tweets", |b| {
+        b.iter(|| p.finalize().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_stage, bench_global_stage);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [--quick] [--seed N] [section ...]
+//! sections: table1 table2 table3 table4 table5 fig3 fig4
+//!           casestudy errors emd ablations; "all" (default) runs the
+//!           paper artifacts (ablations must be requested explicitly)
+//! ```
+
+use std::time::Instant;
+
+use ngl_bench::{tables, Experiment, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(2024);
+    let mut sections: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
+        .cloned()
+        .collect();
+    if sections.is_empty() {
+        sections.push("all".to_string());
+    }
+    const KNOWN: &[&str] = &[
+        "all", "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "casestudy",
+        "errors", "emd", "ablations",
+    ];
+    if let Some(bad) = sections.iter().find(|s| !KNOWN.contains(&s.as_str())) {
+        eprintln!("unknown section {bad:?}; known sections: {}", KNOWN.join(" "));
+        std::process::exit(2);
+    }
+    let want = |s: &str| sections.iter().any(|x| x == s || x == "all");
+
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    eprintln!(
+        "[reproduce] building experiment (seed {seed}, {} scale)...",
+        if quick { "quick" } else { "full" }
+    );
+    let t0 = Instant::now();
+    let exp = Experiment::build(seed, scale);
+    eprintln!("[reproduce] setup done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    if want("table1") {
+        println!("{}", tables::table1(&exp));
+    }
+    if want("table2") {
+        eprintln!("[reproduce] training soft-NN variant for Table II...");
+        println!("{}", tables::table2(&exp));
+    }
+
+    let needs_runs = ["table3", "table4", "table5", "fig4", "casestudy", "errors", "emd"]
+        .iter()
+        .any(|s| want(s));
+    let runs = if needs_runs {
+        eprintln!("[reproduce] running full pipeline over all eval datasets...");
+        let t = Instant::now();
+        let r = tables::run_all(&exp);
+        eprintln!("[reproduce] pipeline runs done in {:.1}s", t.elapsed().as_secs_f64());
+        Some(r)
+    } else {
+        None
+    };
+
+    if want("table3") {
+        eprintln!("[reproduce] training local baselines (Aguilar, BERT-NER)...");
+        let aguilar = exp.train_aguilar();
+        let bert = exp.train_bert_ner();
+        println!(
+            "{}",
+            tables::table3(&exp, runs.as_ref().expect("runs"), &aguilar, &bert)
+        );
+    }
+    if want("table4") {
+        println!("{}", tables::table4(&exp, runs.as_ref().expect("runs")));
+    }
+    if want("table5") {
+        eprintln!("[reproduce] training global baselines (Akbik, HIRE, DocL)...");
+        let akbik = exp.train_akbik();
+        let hire = exp.train_hire();
+        let docl = exp.make_docl();
+        println!(
+            "{}",
+            tables::table5(&exp, runs.as_ref().expect("runs"), &akbik, &hire, &docl)
+        );
+    }
+    if want("fig3") {
+        eprintln!("[reproduce] running ablation variants for Figure 3...");
+        println!("{}", tables::fig3(&exp));
+    }
+    if want("fig4") {
+        println!("{}", tables::fig4(&exp, runs.as_ref().expect("runs")));
+    }
+    if want("casestudy") {
+        println!("{}", tables::case_study(&exp, runs.as_ref().expect("runs")));
+    }
+    if want("errors") {
+        println!("{}", tables::error_analysis(&exp, runs.as_ref().expect("runs")));
+    }
+    if want("emd") {
+        println!("{}", tables::emd_gains(&exp, runs.as_ref().expect("runs")));
+    }
+    if want("ablations") {
+        eprintln!("[reproduce] sweeping design-choice ablations...");
+        println!("{}", tables::ablations(&exp));
+    }
+    eprintln!("[reproduce] total {:.1}s", t0.elapsed().as_secs_f64());
+}

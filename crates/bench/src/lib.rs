@@ -1,0 +1,26 @@
+//! # ngl-bench
+//!
+//! The experiment harness: trains every system once and regenerates
+//! every table and figure of the paper's evaluation (§VI). The
+//! `reproduce` binary drives it; the Criterion benches under `benches/`
+//! measure the hot kernels (CTrie scan, clustering, encoding, phrase
+//! embedding, pipeline stages) that back the Table IV time columns.
+//!
+//! | Paper artifact | Harness entry |
+//! |---|---|
+//! | Table I (dataset stats) | [`tables::table1`] |
+//! | Table II (embedder training) | [`tables::table2`] |
+//! | Table III (vs local NER systems) | [`tables::table3`] |
+//! | Table IV (local→global ablation + time) | [`tables::table4`] |
+//! | Table V (vs global NER baselines) | [`tables::table5`] |
+//! | Figure 3 (component ablation) | [`tables::fig3`] |
+//! | Figure 4 (frequency vs recall) | [`tables::fig4`] |
+//! | §I case study | [`tables::case_study`] |
+//! | §VI-C error analysis | [`tables::error_analysis`] |
+//! | §VI-D EMD gains | [`tables::emd_gains`] |
+
+pub mod experiment;
+pub mod fmt;
+pub mod tables;
+
+pub use experiment::{Experiment, PipelineRun, Scale};

@@ -1,0 +1,603 @@
+//! Regenerators for every table and figure of the paper.
+
+use ngl_baselines::{AkbikTagger, DocumentTagger, DoclNer, HireNer};
+use ngl_core::AblationMode;
+use ngl_corpus::{Dataset, GoldMention};
+use ngl_encoder::{SequenceTagger, TokenEncoder};
+use ngl_eval::{evaluate, evaluate_emd, fully_missed_entities, mistype_stats, recall_by_frequency};
+use ngl_text::{decode_bio, EntityType, Span};
+
+use crate::experiment::{Experiment, PipelineRun};
+use crate::fmt::{f2, pct, render_table, secs};
+
+/// Full-pipeline runs over every eval dataset, aligned with
+/// `exp.data.eval`. Computed once (in parallel) and shared by the tables.
+pub struct EvalRuns {
+    /// One FullGlobal run per eval dataset.
+    pub full: Vec<PipelineRun>,
+}
+
+/// Runs the full pipeline over all six eval datasets in parallel.
+pub fn run_all(exp: &Experiment) -> EvalRuns {
+    let mut full: Vec<Option<PipelineRun>> = Vec::new();
+    for _ in 0..exp.data.eval.len() {
+        full.push(None);
+    }
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for d in &exp.data.eval {
+            handles.push(s.spawn(move |_| exp.run_pipeline(d, AblationMode::FullGlobal)));
+        }
+        for (slot, h) in full.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("pipeline thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    EvalRuns { full: full.into_iter().map(|r| r.expect("filled")).collect() }
+}
+
+fn per_type_f1(scores: &ngl_eval::NerScores) -> Vec<String> {
+    EntityType::ALL
+        .iter()
+        .map(|&t| f2(scores.of(t).f1()))
+        .collect()
+}
+
+/// Table I: dataset statistics.
+pub fn table1(exp: &Experiment) -> String {
+    let mut rows = Vec::new();
+    let mut push = |d: &Dataset| {
+        let s = d.stats();
+        rows.push(vec![
+            s.name.clone(),
+            s.size.to_string(),
+            s.n_topics.to_string(),
+            s.n_hashtags.to_string(),
+            s.unique_entities.to_string(),
+            s.total_mentions.to_string(),
+        ]);
+    };
+    for d in &exp.data.eval[..4] {
+        push(d);
+    }
+    push(&exp.data.d5);
+    for d in &exp.data.eval[4..] {
+        push(d);
+    }
+    render_table(
+        "Table I: Twitter datasets (synthetic stream substrate)",
+        &["Dataset", "Size", "#Topics", "#Hashtags", "#Entities", "#Mentions"],
+        &rows,
+    )
+}
+
+/// Table II: Phrase Embedder / Entity Classifier training for both
+/// contrastive objectives, extended with the production-relevant
+/// comparison — the full pipeline's mean streaming macro-F1 under each
+/// objective (which is what the paper's choice of the triplet variant
+/// ultimately rests on).
+pub fn table2(exp: &Experiment) -> String {
+    let (soft, soft_stack) = exp.train_soft_nn_stack();
+    let pipeline_f1 = |phrase: &ngl_core::PhraseEmbedder,
+                       classifier: &ngl_core::EntityClassifier|
+     -> f64 {
+        let mut f1s = Vec::new();
+        for d in exp.data.streaming_eval() {
+            let mut p = ngl_core::NerGlobalizer::new(
+                exp.local.clone(),
+                phrase.clone(),
+                classifier.clone(),
+                ngl_core::GlobalizerConfig::default(),
+            );
+            let toks: Vec<Vec<String>> = d.tweets.iter().map(|t| t.tokens.clone()).collect();
+            p.process_batch(&toks);
+            let out = p.finalize();
+            let gold = Experiment::gold_of(d);
+            f1s.push(evaluate(&gold, &out).macro_f1());
+        }
+        f1s.iter().sum::<f64>() / f1s.len() as f64
+    };
+    let triplet_pipeline = pipeline_f1(&exp.phrase, &exp.classifier);
+    let soft_pipeline = pipeline_f1(&soft_stack.0, &soft_stack.1);
+    let rows = vec![
+        vec![
+            exp.triplet_report.objective.clone(),
+            format!("{} triplets", exp.triplet_report.dataset_size),
+            format!("{:.4}", exp.triplet_report.train_loss),
+            format!("{:.4}", exp.triplet_report.val_loss),
+            format!("{:.1}%", exp.triplet_report.classifier_val_macro_f1 * 100.0),
+            f2(triplet_pipeline),
+        ],
+        vec![
+            soft.objective.clone(),
+            format!("{} candidate mentions", soft.dataset_size),
+            format!("{:.4}", soft.train_loss),
+            format!("{:.4}", soft.val_loss),
+            format!("{:.1}%", soft.classifier_val_macro_f1 * 100.0),
+            f2(soft_pipeline),
+        ],
+    ];
+    render_table(
+        "Table II: Training of Phrase Embedder and Entity Classifier",
+        &[
+            "Objective",
+            "Dataset size",
+            "Train loss",
+            "Val loss",
+            "Clf val Macro-F1",
+            "Pipeline Macro-F1 (D1-D4)",
+        ],
+        &rows,
+    )
+}
+
+/// Table III: NER Globalizer vs local NER systems.
+pub fn table3(
+    exp: &Experiment,
+    runs: &EvalRuns,
+    aguilar: &dyn SequenceTagger,
+    bert: &dyn SequenceTagger,
+) -> String {
+    let mut rows = Vec::new();
+    for (d, run) in exp.data.eval.iter().zip(&runs.full) {
+        let gold = Experiment::gold_of(d);
+        let mut push = |system: &str, pred: &[Vec<Span>]| {
+            let s = evaluate(&gold, pred);
+            let mut row = vec![d.name.clone(), system.to_string()];
+            row.extend(per_type_f1(&s));
+            row.push(f2(s.macro_f1()));
+            rows.push(row);
+        };
+        push("NER Globalizer", &run.global);
+        let ag: Vec<Vec<Span>> = d
+            .tweets
+            .iter()
+            .map(|t| decode_bio(&aguilar.tag(&t.tokens)))
+            .collect();
+        push("Aguilar et al.", &ag);
+        let bn: Vec<Vec<Span>> = d
+            .tweets
+            .iter()
+            .map(|t| decode_bio(&bert.tag(&t.tokens)))
+            .collect();
+        push("BERT-NER", &bn);
+    }
+    render_table(
+        "Table III: NER Globalizer vs. Local NER systems (F1 per type, Macro-F1)",
+        &["Dataset", "System", "PER", "LOC", "ORG", "MISC", "MacroF1"],
+        &rows,
+    )
+}
+
+/// Table IV: local→global ablation with per-type P/R/F1, execution time,
+/// F1 gain and time overhead.
+pub fn table4(exp: &Experiment, runs: &EvalRuns) -> String {
+    let mut rows = Vec::new();
+    let mut macro_gains = Vec::new();
+    let mut streaming_gains = Vec::new();
+    let mut type_gains: [Vec<f64>; EntityType::COUNT] = Default::default();
+    for (di, (d, run)) in exp.data.eval.iter().zip(&runs.full).enumerate() {
+        let gold = Experiment::gold_of(d);
+        let ls = evaluate(&gold, &run.local);
+        let gs = evaluate(&gold, &run.global);
+        for &ty in &[
+            EntityType::Organization,
+            EntityType::Miscellaneous,
+            EntityType::Location,
+            EntityType::Person,
+        ] {
+            let l = ls.of(ty);
+            let g = gs.of(ty);
+            let gain = if l.f1() > 0.0 { g.f1() / l.f1() - 1.0 } else { f64::NAN };
+            if gain.is_finite() {
+                type_gains[ty.index()].push(gain);
+            }
+            rows.push(vec![
+                d.name.clone(),
+                ty.code().to_string(),
+                f2(l.precision()),
+                f2(l.recall()),
+                f2(l.f1()),
+                secs(run.timings.local),
+                f2(g.precision()),
+                f2(g.recall()),
+                f2(g.f1()),
+                secs(run.timings.global),
+                if gain.is_finite() { pct(gain) } else { "n/a".to_string() },
+                secs(run.timings.global),
+            ]);
+        }
+        let mg = if ls.macro_f1() > 0.0 {
+            gs.macro_f1() / ls.macro_f1() - 1.0
+        } else {
+            f64::NAN
+        };
+        if mg.is_finite() {
+            macro_gains.push(mg);
+            if di < 4 {
+                streaming_gains.push(mg);
+            }
+        }
+    }
+    let mut out = render_table(
+        "Table IV: Ablation — effectiveness and execution time (s), Local vs Global NER",
+        &[
+            "Dataset", "Type", "L-P", "L-R", "L-F1", "L-Time", "G-P", "G-R", "G-F1", "G-Time",
+            "F1 Gain", "Overhead",
+        ],
+        &rows,
+    );
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    out.push_str(&format!(
+        "\nAverage Macro-F1 gain (all datasets): {}\n",
+        pct(mean(&macro_gains))
+    ));
+    out.push_str(&format!(
+        "Average Macro-F1 gain (streaming D1-D4): {}\n",
+        pct(mean(&streaming_gains))
+    ));
+    for ty in EntityType::ALL {
+        out.push_str(&format!(
+            "Average F1 gain {}: {}\n",
+            ty.code(),
+            pct(mean(&type_gains[ty.index()]))
+        ));
+    }
+    out
+}
+
+/// Table V: NER Globalizer vs global NER baselines.
+pub fn table5(
+    exp: &Experiment,
+    runs: &EvalRuns,
+    akbik: &AkbikTagger,
+    hire: &HireNer,
+    docl: &DoclNer<TokenEncoder>,
+) -> String {
+    let mut rows = Vec::new();
+    for (d, run) in exp.data.eval.iter().zip(&runs.full) {
+        let gold = Experiment::gold_of(d);
+        let sentences: Vec<Vec<String>> = d.tweets.iter().map(|t| t.tokens.clone()).collect();
+        {
+            let s = evaluate(&gold, &run.global);
+            let mut row = vec![d.name.clone(), "NER Globalizer".to_string()];
+            row.extend(per_type_f1(&s));
+            row.push(f2(s.macro_f1()));
+            rows.push(row);
+        }
+        for (name, tags) in [
+            ("HIRE-NER", hire.tag_document(&sentences)),
+            ("DocL-NER", docl.tag_document(&sentences)),
+            ("Akbik et al.", akbik.tag_document(&sentences)),
+        ] {
+            let pred: Vec<Vec<Span>> = tags.iter().map(|t| decode_bio(t)).collect();
+            let s = evaluate(&gold, &pred);
+            let mut row = vec![d.name.clone(), name.to_string()];
+            row.extend(per_type_f1(&s));
+            row.push(f2(s.macro_f1()));
+            rows.push(row);
+        }
+    }
+    render_table(
+        "Table V: Effectiveness of Global NER systems (F1 per type, Macro-F1)",
+        &["Dataset", "System", "PER", "LOC", "ORG", "MISC", "MacroF1"],
+        &rows,
+    )
+}
+
+/// Figure 3: component ablation over the streaming datasets (D1–D4).
+pub fn fig3(exp: &Experiment) -> String {
+    let modes = [
+        ("Local NER only", AblationMode::LocalOnly),
+        ("+ Mention extraction", AblationMode::MentionExtraction),
+        ("+ Local embedding classifier", AblationMode::LocalClassifier),
+        ("Full Global NER", AblationMode::FullGlobal),
+    ];
+    let mut rows = Vec::new();
+    for (label, mode) in modes {
+        let mut per_dataset = Vec::new();
+        for d in exp.data.streaming_eval() {
+            let run = exp.run_pipeline(d, mode);
+            let gold = Experiment::gold_of(d);
+            per_dataset.push(evaluate(&gold, &run.global).macro_f1());
+        }
+        let mean = per_dataset.iter().sum::<f64>() / per_dataset.len() as f64;
+        let mut row = vec![label.to_string()];
+        row.extend(per_dataset.iter().map(|&v| f2(v)));
+        row.push(f2(mean));
+        rows.push(row);
+    }
+    render_table(
+        "Figure 3: Impact of components on performance (Macro-F1, streaming datasets)",
+        &["Variant", "D1", "D2", "D3", "D4", "Mean"],
+        &rows,
+    )
+}
+
+/// Figure 4: entity recall by gold mention frequency (bin width 5) over
+/// the streaming datasets.
+pub fn fig4(exp: &Experiment, runs: &EvalRuns) -> String {
+    let mut gold: Vec<Vec<GoldMention>> = Vec::new();
+    let mut pred: Vec<Vec<Span>> = Vec::new();
+    for (d, run) in exp.data.eval.iter().zip(&runs.full).take(4) {
+        for (t, p) in d.tweets.iter().zip(&run.global) {
+            gold.push(t.gold.clone());
+            pred.push(p.clone());
+        }
+    }
+    let bins = recall_by_frequency(&gold, &pred, 5);
+    let rows: Vec<Vec<String>> = bins
+        .iter()
+        .map(|b| {
+            vec![
+                format!("{}-{}", b.lo, b.hi),
+                b.entities.to_string(),
+                b.mentions.to_string(),
+                f2(b.recall()),
+            ]
+        })
+        .collect();
+    render_table(
+        "Figure 4: Impact of mention frequency on detecting entities (streaming datasets)",
+        &["Freq bin", "#Entities", "#Mentions", "Recall"],
+        &rows,
+    )
+}
+
+/// §I case study: the local model alone on the Covid stream (D2).
+pub fn case_study(exp: &Experiment, runs: &EvalRuns) -> String {
+    let d2_idx = exp
+        .data
+        .eval
+        .iter()
+        .position(|d| d.name == "D2")
+        .expect("D2 present");
+    let d2 = &exp.data.eval[d2_idx];
+    let gold = Experiment::gold_of(d2);
+    let s = evaluate(&gold, &runs.full[d2_idx].local);
+    let mut rows: Vec<Vec<String>> = EntityType::ALL
+        .iter()
+        .map(|&t| vec![t.code().to_string(), f2(s.of(t).f1())])
+        .collect();
+    rows.push(vec!["Macro-F1".to_string(), f2(s.macro_f1())]);
+    let mut out = render_table(
+        "Case study (Sec. I): standalone Local NER on the Covid stream D2",
+        &["Entity type", "F1"],
+        &rows,
+    );
+    out.push_str(
+        "\nExpected shape: modest Macro-F1 with MISC far below PER — the\n\
+         inconsistent-detection/mistyping behaviour that motivates Global NER.\n",
+    );
+    out
+}
+
+/// §VI-C error analysis over the streaming datasets.
+pub fn error_analysis(exp: &Experiment, runs: &EvalRuns) -> String {
+    let mut gold_m: Vec<Vec<GoldMention>> = Vec::new();
+    let mut gold_s: Vec<Vec<Span>> = Vec::new();
+    let mut local: Vec<Vec<Span>> = Vec::new();
+    let mut global: Vec<Vec<Span>> = Vec::new();
+    for (d, run) in exp.data.eval.iter().zip(&runs.full).take(4) {
+        for (i, t) in d.tweets.iter().enumerate() {
+            gold_m.push(t.gold.clone());
+            gold_s.push(t.gold_spans());
+            local.push(run.local[i].clone());
+            global.push(run.global[i].clone());
+        }
+    }
+    let miss = fully_missed_entities(&gold_m, &local);
+    let breakdown = mistype_stats(&gold_s, &global);
+    let confusion = ngl_eval::ConfusionMatrix::build(&gold_s, &global);
+    let rows = vec![
+        vec![
+            "Mentions of entities fully missed by Local NER".to_string(),
+            format!(
+                "{} of {} ({:.2}%) from {} of {} entities",
+                miss.mentions_lost,
+                miss.total_mentions,
+                miss.mention_loss_rate() * 100.0,
+                miss.entities_fully_missed,
+                miss.total_entities
+            ),
+        ],
+        vec![
+            "Mentions mistyped by the Entity Classifier".to_string(),
+            format!(
+                "{} of {} ({:.2}%)",
+                breakdown.mistyped,
+                breakdown.total_gold(),
+                breakdown.mistype_rate() * 100.0
+            ),
+        ],
+        vec![
+            "Correct / partial / missed / spurious".to_string(),
+            format!(
+                "{} / {} / {} / {}",
+                breakdown.correct, breakdown.partial, breakdown.missed, breakdown.spurious
+            ),
+        ],
+    ];
+    let mut out = render_table(
+        "Error analysis (Sec. VI-C), streaming datasets D1-D4",
+        &["Error source", "Count"],
+        &rows,
+    );
+    out.push_str("
+Mention-level confusion (gold rows, predicted columns):
+");
+    out.push_str(&confusion.render());
+    out
+}
+
+/// §VI-D EMD (boundary-only) gains of the full pipeline over Local NER.
+pub fn emd_gains(exp: &Experiment, runs: &EvalRuns) -> String {
+    let mut rows = Vec::new();
+    let mut gains = Vec::new();
+    for (d, run) in exp.data.eval.iter().zip(&runs.full) {
+        let gold = Experiment::gold_of(d);
+        let l = evaluate_emd(&gold, &run.local);
+        let g = evaluate_emd(&gold, &run.global);
+        let gain = if l.f1() > 0.0 { g.f1() / l.f1() - 1.0 } else { f64::NAN };
+        if gain.is_finite() {
+            gains.push(gain);
+        }
+        rows.push(vec![
+            d.name.clone(),
+            f2(l.f1()),
+            f2(g.f1()),
+            if gain.is_finite() { pct(gain) } else { "n/a".into() },
+        ]);
+    }
+    let mut out = render_table(
+        "EMD gains (Sec. VI-D): boundary-only F1, Local vs Global",
+        &["Dataset", "Local EMD F1", "Global EMD F1", "Gain"],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\nAverage EMD F1 gain: {}\n",
+        pct(gains.iter().sum::<f64>() / gains.len().max(1) as f64)
+    ));
+    out
+}
+
+/// Diagnostic: largest clusters per predicted label on one dataset.
+/// Not part of the paper's artifacts; used to debug classifier behaviour.
+pub fn debug_surfaces(exp: &Experiment, dataset_name: &str) -> String {
+    let d = exp
+        .data
+        .eval_by_name(dataset_name)
+        .expect("dataset exists");
+    let mut pipeline = ngl_core::NerGlobalizer::new(
+        exp.local.clone(),
+        exp.phrase.clone(),
+        exp.classifier.clone(),
+        ngl_core::GlobalizerConfig::default(),
+    );
+    let tokens: Vec<Vec<String>> = d.tweets.iter().map(|t| t.tokens.clone()).collect();
+    pipeline.process_batch(&tokens);
+    pipeline.finalize();
+    let mut by_label: std::collections::BTreeMap<String, Vec<(usize, String)>> =
+        std::collections::BTreeMap::new();
+    for (surface, entry) in pipeline.candidate_base().iter() {
+        for cluster in &entry.clusters {
+            let label = match cluster.label {
+                Some(Some(ty)) => ty.code().to_string(),
+                Some(None) => "NONE".to_string(),
+                None => "?".to_string(),
+            };
+            by_label
+                .entry(label)
+                .or_default()
+                .push((cluster.members.len(), surface.clone()));
+        }
+    }
+    let mut out = format!("Cluster labels on {dataset_name} (top 15 by size):\n");
+    for (label, mut v) in by_label {
+        v.sort_by_key(|x| std::cmp::Reverse(x.0));
+        out.push_str(&format!("  {label}: "));
+        for (n, s) in v.iter().take(15) {
+            out.push_str(&format!("{s}({n}) "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Ablation sweeps over the pipeline's design parameters — the tuning
+/// choices §V-C/§V-D leave open (clustering threshold below the triplet
+/// margin, the classifier confidence guard, the scan window k). Reports
+/// mean macro-F1 over the streaming datasets.
+pub fn ablations(exp: &Experiment) -> String {
+    let run_with = |cfg: ngl_core::GlobalizerConfig| -> f64 {
+        let mut f1s = Vec::new();
+        for d in exp.data.streaming_eval() {
+            let mut p = ngl_core::NerGlobalizer::new(
+                exp.local.clone(),
+                exp.phrase.clone(),
+                exp.classifier.clone(),
+                cfg,
+            );
+            let toks: Vec<Vec<String>> = d.tweets.iter().map(|t| t.tokens.clone()).collect();
+            p.process_batch(&toks);
+            let out = p.finalize();
+            let gold = Experiment::gold_of(d);
+            f1s.push(evaluate(&gold, &out).macro_f1());
+        }
+        f1s.iter().sum::<f64>() / f1s.len() as f64
+    };
+
+    let base = ngl_core::GlobalizerConfig::default();
+    let mut rows = Vec::new();
+    for t in [0.3f32, 0.5, 0.7, 0.9] {
+        let f1 = run_with(ngl_core::GlobalizerConfig { cluster_threshold: t, ..base });
+        rows.push(vec![
+            "cluster_threshold".to_string(),
+            format!("{t}"),
+            f2(f1),
+            if (t - base.cluster_threshold).abs() < 1e-6 { "default".into() } else { String::new() },
+        ]);
+    }
+    for c in [0.0f32, 0.35, 0.5, 0.65] {
+        let f1 = run_with(ngl_core::GlobalizerConfig { min_confidence: c, ..base });
+        rows.push(vec![
+            "min_confidence".to_string(),
+            format!("{c}"),
+            f2(f1),
+            if (c - base.min_confidence).abs() < 1e-6 { "default".into() } else { String::new() },
+        ]);
+    }
+    for k in [2usize, 4, 6] {
+        let f1 = run_with(ngl_core::GlobalizerConfig { max_mention_len: k, ..base });
+        rows.push(vec![
+            "max_mention_len".to_string(),
+            format!("{k}"),
+            f2(f1),
+            if k == base.max_mention_len { "default".into() } else { String::new() },
+        ]);
+    }
+    // Batch normalization in the Phrase Embedder (§VI) requires
+    // retraining the Global NER stack.
+    {
+        let mut cfg = Experiment::globalizer_config(
+            exp.seed,
+            exp.scale,
+            ngl_core::PhraseLoss::Triplet { margin: 1.0 },
+        );
+        cfg.phrase.use_batch_norm = true;
+        let trained = ngl_core::train_globalizer(&exp.local, &exp.data.d5, &cfg);
+        let mut f1s = Vec::new();
+        for d in exp.data.streaming_eval() {
+            let mut p = ngl_core::NerGlobalizer::new(
+                exp.local.clone(),
+                trained.phrase.clone(),
+                trained.classifier.clone(),
+                base,
+            );
+            let toks: Vec<Vec<String>> = d.tweets.iter().map(|t| t.tokens.clone()).collect();
+            p.process_batch(&toks);
+            let out = p.finalize();
+            let gold = Experiment::gold_of(d);
+            f1s.push(evaluate(&gold, &out).macro_f1());
+        }
+        let f1 = f1s.iter().sum::<f64>() / f1s.len() as f64;
+        rows.push(vec![
+            "phrase batch-norm".to_string(),
+            "on".to_string(),
+            f2(f1),
+            String::new(),
+        ]);
+        let base_f1 = run_with(base);
+        rows.push(vec![
+            "phrase batch-norm".to_string(),
+            "off".to_string(),
+            f2(base_f1),
+            "default".to_string(),
+        ]);
+    }
+    render_table(
+        "Design-choice ablations (mean streaming macro-F1)",
+        &["Parameter", "Value", "MacroF1", ""],
+        &rows,
+    )
+}

@@ -1,0 +1,333 @@
+//! `ngl` — the NER Globalizer command line.
+//!
+//! ```text
+//! ngl generate --profile <d1|d2|d3|d4|d5|wnut17|btc|local-train> \
+//!              [--seed N] [--out file.conll]
+//! ngl train    --train train.conll --d5 d5.conll --out model.nglb \
+//!              [--dim 32] [--epochs 8]
+//! ngl tag      --model model.nglb [--input tweets.txt] [--conll]
+//! ngl eval     --gold gold.conll --pred pred.conll
+//! ```
+//!
+//! `generate` writes a synthetic Table-I-style dataset as CoNLL;
+//! `train` fine-tunes the Local NER encoder on one annotated corpus and
+//! the Global NER components on a D5-style stream, saving everything as
+//! one model bundle; `tag` streams raw tweets (one per line, stdin by
+//! default) through the full pipeline; `eval` scores CoNLL predictions
+//! against CoNLL gold.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::process::ExitCode;
+
+use ngl_core::{
+    train_globalizer, GlobalizerBundle, GlobalizerConfig, GlobalizerTrainingConfig,
+    NerGlobalizer,
+};
+use ngl_corpus::{profiles, Dataset, KnowledgeBase};
+use ngl_encoder::{train_encoder, EncoderConfig, TokenEncoder, TrainConfig};
+use ngl_eval::evaluate;
+use ngl_text::{tokenize, EntityType, Span};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&parse_flags(&args[1..])),
+        Some("train") => cmd_train(&parse_flags(&args[1..])),
+        Some("tag") => cmd_tag(&parse_flags(&args[1..])),
+        Some("eval") => cmd_eval(&parse_flags(&args[1..])),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            eprintln!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  ngl generate --profile <d1|d2|d3|d4|d5|wnut17|btc|local-train> [--seed N] [--out file.conll]
+  ngl train    --train train.conll --d5 d5.conll --out model.nglb [--dim 32] [--epochs 8]
+  ngl tag      --model model.nglb [--input tweets.txt] [--conll]
+  ngl eval     --gold gold.conll --pred pred.conll";
+
+/// Parses `--key value` pairs plus bare `--flag` switches.
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned();
+            match value {
+                Some(v) => {
+                    out.insert(key.to_string(), v);
+                    i += 2;
+                }
+                None => {
+                    out.insert(key.to_string(), "true".to_string());
+                    i += 1;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{key}\n{USAGE}"))
+}
+
+fn parse_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} must be a number, got {v:?}")),
+    }
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let profile = required(flags, "profile")?;
+    let seed: u64 = parse_num(flags, "seed", 2024)?;
+    let spec = match profile {
+        "d1" => profiles::d1(seed),
+        "d2" => profiles::d2(seed),
+        "d3" => profiles::d3(seed),
+        "d4" => profiles::d4(seed),
+        "d5" => profiles::d5(seed),
+        "wnut17" => profiles::wnut17_like(seed),
+        "btc" => profiles::btc_like(seed),
+        "local-train" => profiles::local_train(seed),
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    // Training profiles draw from the train lexicon universe, evaluation
+    // profiles from the eval universe (see DESIGN.md).
+    let kb = if profile == "local-train" {
+        KnowledgeBase::build_in(seed ^ 0x0001, 400, ngl_corpus::namegen::Universe::Train)
+    } else if profile == "d5" {
+        KnowledgeBase::build_in(seed ^ 0x0003, 200, ngl_corpus::namegen::Universe::Eval)
+    } else {
+        KnowledgeBase::build_in(seed ^ 0x0002, 400, ngl_corpus::namegen::Universe::Eval)
+    };
+    let dataset = Dataset::generate(&spec, &kb);
+    let conll = dataset.to_conll();
+    match flags.get("out") {
+        Some(path) => std::fs::write(path, conll).map_err(|e| e.to_string())?,
+        None => print!("{conll}"),
+    }
+    let s = dataset.stats();
+    eprintln!(
+        "generated {} ({} tweets, {} entities, {} mentions)",
+        s.name, s.size, s.unique_entities, s.total_mentions
+    );
+    Ok(())
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let train_path = required(flags, "train")?;
+    let d5_path = required(flags, "d5")?;
+    let out = required(flags, "out")?;
+    let dim: usize = parse_num(flags, "dim", 32)?;
+    let epochs: usize = parse_num(flags, "epochs", 8)?;
+    let seed: u64 = parse_num(flags, "seed", 2024)?;
+
+    let read_conll = |path: &str| -> Result<Dataset, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Dataset::from_conll(path, &text).map_err(|e| format!("{path}: {e}"))
+    };
+    let train_set = read_conll(train_path)?;
+    let d5 = read_conll(d5_path)?;
+
+    eprintln!("fine-tuning the Local NER encoder on {} tweets...", train_set.tweets.len());
+    let mut encoder = TokenEncoder::new(EncoderConfig {
+        embed_dim: (dim * 3 / 4).max(8),
+        hidden_dim: dim * 3 / 2,
+        out_dim: dim,
+        seed,
+        ..Default::default()
+    });
+    let stats = train_encoder(
+        &mut encoder,
+        &train_set,
+        &TrainConfig { epochs, seed: seed ^ 0xE7C, ..Default::default() },
+    );
+    eprintln!(
+        "  {} epochs, dev token accuracy {:.1}%",
+        stats.epochs_run,
+        stats.dev_token_accuracy * 100.0
+    );
+
+    eprintln!("training Global NER components on {} tweets...", d5.tweets.len());
+    let trained = train_globalizer(&encoder, &d5, &GlobalizerTrainingConfig::for_dim(dim));
+    eprintln!(
+        "  {} ({} records), classifier gold-cluster macro-F1 {:.1}%",
+        trained.report.objective,
+        trained.report.dataset_size,
+        trained.report.classifier_val_macro_f1 * 100.0
+    );
+
+    let bundle = GlobalizerBundle {
+        encoder,
+        phrase: trained.phrase,
+        classifier: trained.classifier,
+    };
+    bundle.save(out).map_err(|e| e.to_string())?;
+    eprintln!("model saved to {out}");
+    Ok(())
+}
+
+fn cmd_tag(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model = required(flags, "model")?;
+    let bundle = GlobalizerBundle::load(model).map_err(|e| e.to_string())?;
+    let text = match flags.get("input") {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| e.to_string())?;
+            buf
+        }
+    };
+    let tweets: Vec<Vec<String>> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| tokenize(l).into_iter().map(|t| t.text).collect())
+        .collect();
+    if tweets.is_empty() {
+        return Err("no input tweets".to_string());
+    }
+
+    let mut pipeline = NerGlobalizer::new(
+        bundle.encoder,
+        bundle.phrase,
+        bundle.classifier,
+        GlobalizerConfig::default(),
+    );
+    pipeline.process_batch(&tweets);
+    let spans = pipeline.finalize();
+
+    if flags.contains_key("conll") {
+        print!("{}", ngl_corpus::conll::predictions_to_conll(&tweets, &spans));
+    } else {
+        for (tokens, s) in tweets.iter().zip(&spans) {
+            let rendered: Vec<String> = s
+                .iter()
+                .map(|sp| format!("{} [{}]", sp.surface(tokens), sp.ty))
+                .collect();
+            println!(
+                "{}\t=> {}",
+                tokens.join(" "),
+                if rendered.is_empty() { "-".to_string() } else { rendered.join(", ") }
+            );
+        }
+    }
+    eprintln!(
+        "tagged {} tweets ({} candidate surfaces tracked)",
+        tweets.len(),
+        pipeline.n_surfaces()
+    );
+    Ok(())
+}
+
+type Sentences = Vec<(Vec<String>, Vec<Span>)>;
+
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    let gold_path = required(flags, "gold")?;
+    let pred_path = required(flags, "pred")?;
+    let read = |path: &str| -> Result<Sentences, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let tweets = ngl_corpus::from_conll(&text).map_err(|e| format!("{path}: {e}"))?;
+        Ok(tweets
+            .into_iter()
+            .map(|t| {
+                let spans = t.gold_spans();
+                (t.tokens, spans)
+            })
+            .collect())
+    };
+    let gold = read(gold_path)?;
+    let pred = read(pred_path)?;
+    if gold.len() != pred.len() {
+        return Err(format!(
+            "sentence count mismatch: gold {} vs pred {}",
+            gold.len(),
+            pred.len()
+        ));
+    }
+    for (i, (g, p)) in gold.iter().zip(&pred).enumerate() {
+        if g.0 != p.0 {
+            return Err(format!("token mismatch in sentence {i}"));
+        }
+    }
+    let gold_spans: Vec<Vec<Span>> = gold.into_iter().map(|(_, s)| s).collect();
+    let pred_spans: Vec<Vec<Span>> = pred.into_iter().map(|(_, s)| s).collect();
+    let scores = evaluate(&gold_spans, &pred_spans);
+    println!("type  precision  recall  f1");
+    for ty in EntityType::ALL {
+        let s = scores.of(ty);
+        println!(
+            "{:<5} {:<10.3} {:<7.3} {:.3}",
+            ty.code(),
+            s.precision(),
+            s.recall(),
+            s.f1()
+        );
+    }
+    println!("macro-F1: {:.3}", scores.macro_f1());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[&str]) -> HashMap<String, String> {
+        parse_flags(&pairs.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn flag_parsing_handles_pairs_and_switches() {
+        let f = flags(&["--profile", "d2", "--conll", "--seed", "7"]);
+        assert_eq!(f.get("profile").map(String::as_str), Some("d2"));
+        assert_eq!(f.get("conll").map(String::as_str), Some("true"));
+        assert_eq!(f.get("seed").map(String::as_str), Some("7"));
+    }
+
+    #[test]
+    fn missing_required_flag_is_an_error() {
+        let f = flags(&[]);
+        assert!(required(&f, "model").is_err());
+    }
+
+    #[test]
+    fn numeric_parsing_validates() {
+        let f = flags(&["--seed", "abc"]);
+        assert!(parse_num::<u64>(&f, "seed", 1).is_err());
+        let f = flags(&["--seed", "9"]);
+        assert_eq!(parse_num::<u64>(&f, "seed", 1).unwrap(), 9);
+        assert_eq!(parse_num::<u64>(&flags(&[]), "seed", 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn unknown_profile_is_rejected() {
+        let f = flags(&["--profile", "dX"]);
+        assert!(cmd_generate(&f).is_err());
+    }
+}

@@ -1,0 +1,379 @@
+//! # ngl-cluster
+//!
+//! Candidate-cluster generation (§V-C): agglomerative clustering of
+//! mention embeddings under **cosine distance** with **average linkage**
+//! and a **distance threshold** stopping rule — the number of clusters
+//! per surface form is unknown a priori, so threshold-stopped
+//! agglomerative clustering is used instead of k-means-style methods.
+//!
+//! A useful identity makes average linkage cheap here: with unit-
+//! normalized embeddings, the mean pairwise cosine *similarity* between
+//! clusters A and B is `(ΣÂ · ΣB̂)/(|A||B|)`, so a cluster is fully
+//! described by the sum of its normalized members plus a count. Merges
+//! and incremental insertions are then O(d).
+//!
+//! The paper tunes the threshold below 1 (cosine distance 1 =
+//! orthogonality, the triplet-loss margin).
+
+use serde::{Deserialize, Serialize};
+
+use ngl_nn::cosine::l2_normalized;
+use ngl_nn::linalg::dot;
+
+/// Result of a batch clustering: a cluster id per input point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// `assignments[i]` is the cluster of input point `i`, in `0..n_clusters`.
+    pub assignments: Vec<usize>,
+    /// Number of clusters.
+    pub n_clusters: usize,
+}
+
+impl Clustering {
+    /// Indices of the members of each cluster.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut g = vec![Vec::new(); self.n_clusters];
+        for (i, &c) in self.assignments.iter().enumerate() {
+            g[c].push(i);
+        }
+        g
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ClusterAgg {
+    sum: Vec<f32>,
+    count: usize,
+    members: Vec<usize>,
+}
+
+impl ClusterAgg {
+    fn single(i: usize, p: &[f32]) -> Self {
+        Self { sum: l2_normalized(p), count: 1, members: vec![i] }
+    }
+
+    /// Mean pairwise cosine distance to another cluster.
+    fn distance(&self, other: &ClusterAgg) -> f32 {
+        let sim = dot(&self.sum, &other.sum) / (self.count * other.count) as f32;
+        1.0 - sim.clamp(-1.0, 1.0)
+    }
+
+    fn merge(&mut self, other: ClusterAgg) {
+        for (a, b) in self.sum.iter_mut().zip(&other.sum) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.members.extend(other.members);
+    }
+}
+
+/// Bottom-up agglomerative clustering stopped at `threshold`.
+///
+/// ```
+/// use ngl_cluster::agglomerative;
+///
+/// // Two senses of one surface form: mentions near orthogonal axes.
+/// let mentions = vec![
+///     vec![1.0, 0.05],
+///     vec![0.95, 0.0],
+///     vec![0.0, 1.0],
+/// ];
+/// let clustering = agglomerative(&mentions, 0.5);
+/// assert_eq!(clustering.n_clusters, 2);
+/// assert_eq!(clustering.assignments[0], clustering.assignments[1]);
+/// assert_ne!(clustering.assignments[0], clustering.assignments[2]);
+/// ```
+///
+/// Starts from singletons, repeatedly merges the closest pair of
+/// clusters (average linkage over cosine distance) while the minimum
+/// inter-cluster distance is below `threshold`.
+///
+/// Complexity is O(n² · merges); mention sets per surface form are small
+/// (tens to low hundreds), so the quadratic scan is not a bottleneck —
+/// confirmed by the `cluster` Criterion bench.
+pub fn agglomerative(points: &[Vec<f32>], threshold: f32) -> Clustering {
+    let n = points.len();
+    if n == 0 {
+        return Clustering { assignments: Vec::new(), n_clusters: 0 };
+    }
+    let mut clusters: Vec<ClusterAgg> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| ClusterAgg::single(i, p))
+        .collect();
+
+    loop {
+        if clusters.len() < 2 {
+            break;
+        }
+        // Find the closest pair.
+        let mut best = (0usize, 1usize, f32::INFINITY);
+        for i in 0..clusters.len() {
+            for j in i + 1..clusters.len() {
+                let d = clusters[i].distance(&clusters[j]);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        if best.2 >= threshold {
+            break;
+        }
+        let taken = clusters.swap_remove(best.1);
+        clusters[best.0].merge(taken);
+    }
+
+    let mut assignments = vec![0usize; n];
+    for (c, cl) in clusters.iter().enumerate() {
+        for &m in &cl.members {
+            assignments[m] = c;
+        }
+    }
+    Clustering { assignments, n_clusters: clusters.len() }
+}
+
+/// Incrementally maintained clustering for the streaming setting (§V-C:
+/// "both the representation space … and the clusters drawn from its
+/// mentions are updated as and when new mentions arrive").
+///
+/// A new point joins the nearest existing cluster when its mean cosine
+/// distance to that cluster's members is below the threshold; otherwise
+/// it opens a new cluster. This is the standard one-pass approximation
+/// of threshold-stopped average-linkage clustering.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineClusters {
+    threshold: f32,
+    sums: Vec<Vec<f32>>,
+    counts: Vec<usize>,
+}
+
+impl OnlineClusters {
+    /// Empty clustering with the given distance threshold.
+    pub fn new(threshold: f32) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        Self { threshold, sums: Vec::new(), counts: Vec::new() }
+    }
+
+    /// Number of clusters so far.
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Whether no points have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Member count of cluster `c`.
+    pub fn count(&self, c: usize) -> usize {
+        self.counts[c]
+    }
+
+    /// Mean cosine distance from `point` to cluster `c`.
+    pub fn distance_to(&self, c: usize, point: &[f32]) -> f32 {
+        let p = l2_normalized(point);
+        1.0 - (dot(&p, &self.sums[c]) / self.counts[c] as f32).clamp(-1.0, 1.0)
+    }
+
+    /// Inserts a point, returning the cluster id it joined (possibly a
+    /// fresh one).
+    pub fn insert(&mut self, point: &[f32]) -> usize {
+        let p = l2_normalized(point);
+        let mut best: Option<(usize, f32)> = None;
+        for c in 0..self.sums.len() {
+            let d = 1.0 - (dot(&p, &self.sums[c]) / self.counts[c] as f32).clamp(-1.0, 1.0);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((c, d));
+            }
+        }
+        match best {
+            Some((c, d)) if d < self.threshold => {
+                for (a, b) in self.sums[c].iter_mut().zip(&p) {
+                    *a += b;
+                }
+                self.counts[c] += 1;
+                c
+            }
+            _ => {
+                self.sums.push(p);
+                self.counts.push(1);
+                self.sums.len() - 1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: &[f32], jitter: &[f32]) -> Vec<f32> {
+        center.iter().zip(jitter).map(|(c, j)| c + j).collect()
+    }
+
+    #[test]
+    fn two_orthogonal_blobs_separate() {
+        let mut pts = Vec::new();
+        for j in [-0.05f32, 0.0, 0.05] {
+            pts.push(blob(&[1.0, 0.0], &[0.0, j]));
+            pts.push(blob(&[0.0, 1.0], &[j, 0.0]));
+        }
+        let c = agglomerative(&pts, 0.5);
+        assert_eq!(c.n_clusters, 2);
+        // Even/odd points alternate blobs.
+        assert_eq!(c.assignments[0], c.assignments[2]);
+        assert_eq!(c.assignments[1], c.assignments[3]);
+        assert_ne!(c.assignments[0], c.assignments[1]);
+    }
+
+    #[test]
+    fn one_tight_blob_stays_together() {
+        let pts: Vec<Vec<f32>> = (0..8)
+            .map(|i| blob(&[1.0, 0.2], &[0.0, 0.01 * i as f32]))
+            .collect();
+        let c = agglomerative(&pts, 0.5);
+        assert_eq!(c.n_clusters, 1);
+    }
+
+    #[test]
+    fn tiny_threshold_keeps_singletons() {
+        let pts = vec![vec![1.0, 0.0], vec![0.9, 0.1], vec![0.0, 1.0]];
+        let c = agglomerative(&pts, 1e-6);
+        assert_eq!(c.n_clusters, 3);
+    }
+
+    #[test]
+    fn threshold_is_monotone_in_cluster_count() {
+        let pts: Vec<Vec<f32>> = (0..12)
+            .map(|i| {
+                let a = i as f32 * 0.3;
+                vec![a.cos(), a.sin()]
+            })
+            .collect();
+        let mut last = usize::MAX;
+        for t in [0.05f32, 0.2, 0.5, 1.0, 1.9] {
+            let c = agglomerative(&pts, t);
+            assert!(c.n_clusters <= last, "threshold {t} increased clusters");
+            last = c.n_clusters;
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(agglomerative(&[], 0.5).n_clusters, 0);
+        let c = agglomerative(&[vec![0.3, 0.4]], 0.5);
+        assert_eq!(c.n_clusters, 1);
+        assert_eq!(c.assignments, vec![0]);
+    }
+
+    #[test]
+    fn groups_partition_the_points() {
+        let pts = vec![vec![1.0, 0.0], vec![0.99, 0.01], vec![0.0, 1.0]];
+        let c = agglomerative(&pts, 0.3);
+        let groups = c.groups();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+        assert_eq!(groups.len(), c.n_clusters);
+    }
+
+    #[test]
+    fn scale_invariance_of_cosine_clustering() {
+        let a = vec![vec![1.0, 0.0], vec![100.0, 1.0], vec![0.0, 2.0]];
+        let b = vec![vec![0.01, 0.0], vec![1.0, 0.01], vec![0.0, 0.002]];
+        assert_eq!(agglomerative(&a, 0.4), agglomerative(&b, 0.4));
+    }
+
+    #[test]
+    fn online_matches_batch_on_well_separated_data() {
+        let mut pts = Vec::new();
+        for j in 0..5 {
+            pts.push(blob(&[1.0, 0.0, 0.0], &[0.0, 0.02 * j as f32, 0.0]));
+            pts.push(blob(&[0.0, 0.0, 1.0], &[0.0, 0.02 * j as f32, 0.0]));
+        }
+        let batch = agglomerative(&pts, 0.5);
+        let mut online = OnlineClusters::new(0.5);
+        let ids: Vec<usize> = pts.iter().map(|p| online.insert(p)).collect();
+        assert_eq!(batch.n_clusters, online.len());
+        // Same partitioning up to relabeling.
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                assert_eq!(
+                    batch.assignments[i] == batch.assignments[j],
+                    ids[i] == ids[j],
+                    "points {i},{j} disagree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn online_counts_track_insertions() {
+        let mut oc = OnlineClusters::new(0.4);
+        let c0 = oc.insert(&[1.0, 0.0]);
+        let c1 = oc.insert(&[0.98, 0.02]);
+        assert_eq!(c0, c1);
+        assert_eq!(oc.count(c0), 2);
+        let c2 = oc.insert(&[0.0, 1.0]);
+        assert_ne!(c0, c2);
+        assert_eq!(oc.len(), 2);
+    }
+
+    #[test]
+    fn distance_to_is_zero_for_identical_direction() {
+        let mut oc = OnlineClusters::new(0.4);
+        let c = oc.insert(&[0.5, 0.5]);
+        assert!(oc.distance_to(c, &[2.0, 2.0]) < 1e-5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn point() -> impl Strategy<Value = Vec<f32>> {
+        prop::collection::vec(-1.0f32..1.0, 3).prop_filter("non-zero", |v| {
+            v.iter().map(|x| x * x).sum::<f32>() > 1e-4
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn assignments_are_a_valid_partition(
+            pts in prop::collection::vec(point(), 0..25),
+            threshold in 0.05f32..1.5,
+        ) {
+            let c = agglomerative(&pts, threshold);
+            prop_assert_eq!(c.assignments.len(), pts.len());
+            if !pts.is_empty() {
+                prop_assert!(c.n_clusters >= 1 && c.n_clusters <= pts.len());
+            }
+            for &a in &c.assignments {
+                prop_assert!(a < c.n_clusters);
+            }
+            // Every cluster id is used.
+            let mut used = vec![false; c.n_clusters];
+            for &a in &c.assignments {
+                used[a] = true;
+            }
+            prop_assert!(used.into_iter().all(|u| u));
+        }
+
+        #[test]
+        fn online_ids_are_dense(
+            pts in prop::collection::vec(point(), 1..30),
+            threshold in 0.05f32..1.5,
+        ) {
+            let mut oc = OnlineClusters::new(threshold);
+            let mut max_id = 0usize;
+            for p in &pts {
+                let id = oc.insert(p);
+                prop_assert!(id <= max_id + 1 || id <= oc.len());
+                max_id = max_id.max(id);
+            }
+            prop_assert_eq!(max_id + 1, oc.len());
+            let total: usize = (0..oc.len()).map(|c| oc.count(c)).sum();
+            prop_assert_eq!(total, pts.len());
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The bookkeeping stores of the pipeline: **TweetBase** (§IV) holds one
+//! record per processed tweet sentence, **CandidateBase** (§V-D) holds
+//! one entry per discovered candidate surface form with its mentions,
+//! clusters and (eventually) cluster labels.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use ngl_nn::Matrix;
+use ngl_text::{EntityType, Span};
+
+/// A single extracted mention occurrence with its local embedding.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MentionRecord {
+    /// Index of the tweet in the [`TweetBase`].
+    pub tweet: usize,
+    /// First token of the mention.
+    pub start: usize,
+    /// One past the last token.
+    pub end: usize,
+    /// Local mention embedding from the Phrase Embedder.
+    pub local_emb: Vec<f32>,
+    /// Type Local NER assigned to an overlapping detection, if any
+    /// (used by the mention-extraction ablation's majority vote).
+    pub local_type: Option<EntityType>,
+}
+
+/// A candidate cluster: one (surface form, entity) hypothesis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidateCluster {
+    /// Indices into the owning entry's mention list.
+    pub members: Vec<usize>,
+    /// Global candidate embedding (Eq. 8), filled at classification.
+    pub global_emb: Vec<f32>,
+    /// Classifier verdict: `None` = not yet classified;
+    /// `Some(None)` = non-entity; `Some(Some(ty))` = entity of type `ty`.
+    pub label: Option<Option<EntityType>>,
+}
+
+/// All knowledge about one candidate surface form.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SurfaceEntry {
+    /// Every extracted mention of the surface, in discovery order.
+    pub mentions: Vec<MentionRecord>,
+    /// Current candidate clusters over those mentions.
+    pub clusters: Vec<CandidateCluster>,
+}
+
+/// Candidate store keyed by folded surface form.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CandidateBase {
+    surfaces: BTreeMap<String, SurfaceEntry>,
+}
+
+impl CandidateBase {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a mention of `surface`, returning its index in the entry.
+    pub fn add_mention(&mut self, surface: &str, record: MentionRecord) -> usize {
+        let entry = self.surfaces.entry(surface.to_string()).or_default();
+        entry.mentions.push(record);
+        entry.mentions.len() - 1
+    }
+
+    /// The entry of a surface, if known.
+    pub fn get(&self, surface: &str) -> Option<&SurfaceEntry> {
+        self.surfaces.get(surface)
+    }
+
+    /// Mutable entry access.
+    pub fn get_mut(&mut self, surface: &str) -> Option<&mut SurfaceEntry> {
+        self.surfaces.get_mut(surface)
+    }
+
+    /// Iterates over `(surface, entry)` pairs in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &SurfaceEntry)> {
+        self.surfaces.iter()
+    }
+
+    /// Mutable iteration.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&String, &mut SurfaceEntry)> {
+        self.surfaces.iter_mut()
+    }
+
+    /// Number of distinct surface forms.
+    pub fn len(&self) -> usize {
+        self.surfaces.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.surfaces.is_empty()
+    }
+
+    /// Total mentions across all surfaces.
+    pub fn total_mentions(&self) -> usize {
+        self.surfaces.values().map(|e| e.mentions.len()).sum()
+    }
+
+    /// Drops all clusters (used before a full re-clustering pass).
+    pub fn clear_clusters(&mut self) {
+        for e in self.surfaces.values_mut() {
+            e.clusters.clear();
+        }
+    }
+}
+
+/// One processed tweet sentence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TweetRecord {
+    /// The sentence tokens.
+    pub tokens: Vec<String>,
+    /// `n × d` contextual token embeddings from Local NER.
+    pub embeddings: Matrix,
+    /// Spans Local NER detected (with its type guesses).
+    pub local_spans: Vec<Span>,
+}
+
+/// Store of processed tweets, indexed by arrival order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TweetBase {
+    records: Vec<TweetRecord>,
+}
+
+impl TweetBase {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record, returning its index.
+    pub fn push(&mut self, record: TweetRecord) -> usize {
+        self.records.push(record);
+        self.records.len() - 1
+    }
+
+    /// Record lookup.
+    pub fn get(&self, idx: usize) -> &TweetRecord {
+        &self.records[idx]
+    }
+
+    /// Number of stored tweets.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no tweets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates records in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &TweetRecord> {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(tweet: usize) -> MentionRecord {
+        MentionRecord {
+            tweet,
+            start: 0,
+            end: 1,
+            local_emb: vec![1.0, 0.0],
+            local_type: None,
+        }
+    }
+
+    #[test]
+    fn mentions_accumulate_per_surface() {
+        let mut cb = CandidateBase::new();
+        assert_eq!(cb.add_mention("italy", record(0)), 0);
+        assert_eq!(cb.add_mention("italy", record(1)), 1);
+        assert_eq!(cb.add_mention("us", record(1)), 0);
+        assert_eq!(cb.len(), 2);
+        assert_eq!(cb.total_mentions(), 3);
+        assert_eq!(cb.get("italy").expect("entry").mentions.len(), 2);
+        assert!(cb.get("nowhere").is_none());
+    }
+
+    #[test]
+    fn clear_clusters_keeps_mentions() {
+        let mut cb = CandidateBase::new();
+        cb.add_mention("us", record(0));
+        cb.get_mut("us").expect("entry").clusters.push(CandidateCluster {
+            members: vec![0],
+            global_emb: vec![],
+            label: None,
+        });
+        cb.clear_clusters();
+        assert!(cb.get("us").expect("entry").clusters.is_empty());
+        assert_eq!(cb.total_mentions(), 1);
+    }
+
+    #[test]
+    fn tweet_base_round_trips() {
+        let mut tb = TweetBase::new();
+        let idx = tb.push(TweetRecord {
+            tokens: vec!["stay".into(), "home".into()],
+            embeddings: Matrix::zeros(2, 4),
+            local_spans: vec![],
+        });
+        assert_eq!(idx, 0);
+        assert_eq!(tb.len(), 1);
+        assert_eq!(tb.get(0).tokens[1], "home");
+    }
+
+    #[test]
+    fn iteration_is_lexicographic() {
+        let mut cb = CandidateBase::new();
+        cb.add_mention("zebra", record(0));
+        cb.add_mention("alpha", record(0));
+        let keys: Vec<&String> = cb.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["alpha", "zebra"]);
+    }
+}

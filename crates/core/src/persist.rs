@@ -1,0 +1,225 @@
+//! Model persistence: save a fully trained NER Globalizer (Local NER
+//! encoder + Phrase Embedder + Entity Classifier) to one versioned
+//! binary file and load it back — train once, deploy anywhere.
+//!
+//! Layout: `magic ("NGLB") | version (u32) | encoder | phrase |
+//! classifier`, each component in its own length-checked binary format
+//! (see `ngl_nn::codec`). Corrupted or truncated files fail with a
+//! descriptive [`PersistError`] instead of yielding a broken model.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use ngl_encoder::TokenEncoder;
+use ngl_nn::CodecError;
+
+use crate::classifier::EntityClassifier;
+use crate::phrase::PhraseEmbedder;
+
+const MAGIC: &[u8; 4] = b"NGLB";
+const VERSION: u32 = 1;
+
+/// Why loading a bundle failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not an NGLB file.
+    BadMagic,
+    /// A format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The payload was malformed.
+    Codec(CodecError),
+    /// Component dimensions disagree with each other.
+    Inconsistent(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::BadMagic => write!(f, "not an NGLB model file"),
+            PersistError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            PersistError::Codec(e) => write!(f, "malformed payload: {e}"),
+            PersistError::Inconsistent(what) => write!(f, "inconsistent bundle: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<CodecError> for PersistError {
+    fn from(e: CodecError) -> Self {
+        PersistError::Codec(e)
+    }
+}
+
+/// A complete trained model: everything [`crate::NerGlobalizer`] needs.
+#[derive(Debug, Clone)]
+pub struct GlobalizerBundle {
+    /// The fine-tuned Local NER encoder.
+    pub encoder: TokenEncoder,
+    /// The contrastively trained Phrase Embedder.
+    pub phrase: PhraseEmbedder,
+    /// The pooling + classification head.
+    pub classifier: EntityClassifier,
+}
+
+impl GlobalizerBundle {
+    /// Serializes the bundle into one binary blob.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.extend_from_slice(&self.encoder.to_bytes());
+        buf.extend_from_slice(&self.phrase.to_bytes());
+        buf.extend_from_slice(&self.classifier.to_bytes());
+        buf.freeze()
+    }
+
+    /// Parses a bundle previously produced by [`Self::to_bytes`].
+    pub fn from_bytes(mut bytes: Bytes) -> Result<Self, PersistError> {
+        if bytes.remaining() < 8 {
+            return Err(PersistError::BadMagic);
+        }
+        let mut magic = [0u8; 4];
+        bytes.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = bytes.get_u32_le();
+        if version != VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let encoder = TokenEncoder::from_bytes(&mut bytes)?;
+        let phrase = PhraseEmbedder::from_bytes(&mut bytes)?;
+        let classifier = EntityClassifier::from_bytes(&mut bytes)?;
+        if encoder.out_dim() != phrase.dim() {
+            return Err(PersistError::Inconsistent("encoder vs phrase dim"));
+        }
+        Ok(Self { encoder, phrase, classifier })
+    }
+
+    /// Writes the bundle to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a bundle from a file.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
+        let mut f = std::fs::File::open(path)?;
+        let mut data = Vec::new();
+        f.read_to_end(&mut data)?;
+        Self::from_bytes(Bytes::from(data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ClassifierConfig;
+    use crate::phrase::PhraseEmbedderConfig;
+    use ngl_encoder::{ContextualTagger, EncoderConfig};
+    use ngl_nn::Matrix;
+
+    fn bundle() -> GlobalizerBundle {
+        let dim = 16;
+        let mut encoder = TokenEncoder::new(EncoderConfig {
+            embed_dim: 8,
+            hidden_dim: 12,
+            out_dim: dim,
+            seed: 13,
+            ..Default::default()
+        });
+        // Give it a transition model so the optional branch is covered.
+        let t = ngl_text::BioTag::COUNT;
+        encoder.set_transitions(vec![-1.0; t * t]);
+        GlobalizerBundle {
+            encoder,
+            phrase: PhraseEmbedder::new(PhraseEmbedderConfig { dim, seed: 14, ..Default::default() }),
+            classifier: EntityClassifier::new(ClassifierConfig { dim, seed: 15, ..Default::default() }),
+        }
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split(' ').map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn bundle_round_trips_bit_exact() {
+        let b = bundle();
+        let bytes = b.to_bytes();
+        let back = GlobalizerBundle::from_bytes(bytes).expect("load");
+
+        // The models must behave identically, not just parse.
+        let sent = toks("gov Beshear said stay home");
+        let a = b.encoder.encode(&sent);
+        let c = back.encoder.encode(&sent);
+        assert_eq!(a.tags, c.tags);
+        assert_eq!(a.embeddings, c.embeddings);
+
+        let span = ngl_text::Span::new(1, 2, ngl_text::EntityType::Person);
+        assert_eq!(
+            b.phrase.embed(&a.embeddings, &span),
+            back.phrase.embed(&c.embeddings, &span)
+        );
+        let locals = Matrix::from_vec(2, 16, vec![0.1; 32]);
+        assert_eq!(
+            b.classifier.predict_proba(&locals),
+            back.classifier.predict_proba(&locals)
+        );
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let b = bundle();
+        let dir = std::env::temp_dir().join("ngl-persist-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("model.nglb");
+        b.save(&path).expect("save");
+        let back = GlobalizerBundle::load(&path).expect("load");
+        assert_eq!(b.encoder.out_dim(), back.encoder.out_dim());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let err = GlobalizerBundle::from_bytes(Bytes::from_static(b"XXXX\x01\x00\x00\x00rest"))
+            .expect_err("must fail");
+        assert!(matches!(err, PersistError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(99);
+        let err = GlobalizerBundle::from_bytes(buf.freeze()).expect_err("must fail");
+        assert!(matches!(err, PersistError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn truncation_anywhere_fails_cleanly() {
+        let bytes = bundle().to_bytes();
+        // Sample a spread of truncation points (checking all ~100k is slow).
+        for frac in [0.1, 0.35, 0.6, 0.85, 0.99] {
+            let cut = (bytes.len() as f64 * frac) as usize;
+            let sliced = bytes.slice(0..cut);
+            assert!(
+                GlobalizerBundle::from_bytes(sliced).is_err(),
+                "truncation at {cut}/{} must fail",
+                bytes.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! The NER Globalizer execution pipeline (§III).
+//!
+//! [`NerGlobalizer`] sustains a continuous execution over stream batches:
+//! Local NER seeds surfaces and embeddings per batch
+//! ([`NerGlobalizer::process_batch`]); the Global NER steps — mention
+//! extraction, phrase embedding, candidate clustering, pooling and
+//! classification — run over everything seen so far
+//! ([`NerGlobalizer::finalize`]). Per-stage wall-clock is tracked for the
+//! Table IV time-overhead analysis, and [`AblationMode`] switches the
+//! pipeline into the Figure 3 component-ablation variants.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use ngl_cluster::agglomerative;
+use ngl_ctrie::CTrie;
+use ngl_encoder::ContextualTagger;
+use ngl_nn::Matrix;
+use ngl_text::{decode_bio, EntityType, Span};
+
+use crate::bases::{CandidateBase, CandidateCluster, MentionRecord, TweetBase, TweetRecord};
+use crate::classifier::EntityClassifier;
+use crate::phrase::PhraseEmbedder;
+
+/// Which pipeline variant runs (Figure 3's incremental component study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AblationMode {
+    /// Stop after Local NER (the bottom curve of Fig. 3).
+    LocalOnly,
+    /// Local NER + CTrie mention extraction; each surface takes its most
+    /// frequent locally-assigned type.
+    MentionExtraction,
+    /// Adds local mention embeddings: each mention is classified
+    /// individually from its own local embedding (no aggregation).
+    LocalClassifier,
+    /// The full system with global candidate embeddings (top curve).
+    FullGlobal,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GlobalizerConfig {
+    /// Maximum mention length in tokens for the CTrie scan (§V-A's k).
+    pub max_mention_len: usize,
+    /// Agglomerative clustering threshold (cosine distance; tuned below
+    /// 1, the triplet margin — §V-C).
+    pub cluster_threshold: f32,
+    /// Minimum classifier probability required to accept a cluster as an
+    /// entity; below it the cluster is treated as non-entity. Precision
+    /// guard: a confidently mixed cluster should not flood the output
+    /// with one type's mentions.
+    pub min_confidence: f32,
+    /// Which variant to run.
+    pub ablation: AblationMode,
+}
+
+impl Default for GlobalizerConfig {
+    fn default() -> Self {
+        Self {
+            max_mention_len: 4,
+            cluster_threshold: 0.7,
+            min_confidence: 0.35,
+            ablation: AblationMode::FullGlobal,
+        }
+    }
+}
+
+/// Accumulated wall-clock per stage.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Time spent in Local NER (encoding + tagging + seeding).
+    pub local: Duration,
+    /// Time spent in the Global NER stages.
+    pub global: Duration,
+}
+
+/// Output of one processed batch.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// Index of the first tweet of this batch in the stream.
+    pub first_tweet: usize,
+    /// Local NER spans per tweet of the batch.
+    pub local_spans: Vec<Vec<Span>>,
+}
+
+/// The NER Globalizer system.
+pub struct NerGlobalizer<T: ContextualTagger> {
+    local: T,
+    phrase: PhraseEmbedder,
+    classifier: EntityClassifier,
+    cfg: GlobalizerConfig,
+    ctrie: CTrie,
+    tweets: TweetBase,
+    candidates: CandidateBase,
+    timings: StageTimings,
+}
+
+impl<T: ContextualTagger> NerGlobalizer<T> {
+    /// Assembles a pipeline from a trained local tagger, a trained
+    /// phrase embedder and a trained entity classifier.
+    ///
+    /// # Panics
+    /// Panics when the embedding dimensions of the three components
+    /// disagree.
+    pub fn new(
+        local: T,
+        phrase: PhraseEmbedder,
+        classifier: EntityClassifier,
+        cfg: GlobalizerConfig,
+    ) -> Self {
+        assert_eq!(local.dim(), phrase.dim(), "encoder/embedder dim mismatch");
+        Self {
+            local,
+            phrase,
+            classifier,
+            cfg,
+            ctrie: CTrie::new(),
+            tweets: TweetBase::new(),
+            candidates: CandidateBase::new(),
+            timings: StageTimings::default(),
+        }
+    }
+
+    /// The Local NER stage over one batch of tokenized tweets: tags each
+    /// sentence, stores its record, registers detected surface forms in
+    /// the CTrie. Returns the batch's local outputs.
+    pub fn process_batch(&mut self, batch: &[Vec<String>]) -> BatchOutput {
+        let t0 = Instant::now();
+        let first_tweet = self.tweets.len();
+        let mut local_spans = Vec::with_capacity(batch.len());
+        for tokens in batch {
+            let enc = self.local.encode(tokens);
+            let spans = decode_bio(&enc.tags);
+            for s in &spans {
+                let surface: Vec<&str> =
+                    tokens[s.start..s.end].iter().map(String::as_str).collect();
+                // Stray tags on bare function words are partial-
+                // extraction artifacts, never real candidates.
+                if !ngl_text::is_stopword_surface(&surface) {
+                    self.ctrie.insert(&surface);
+                }
+            }
+            self.tweets.push(TweetRecord {
+                tokens: tokens.clone(),
+                embeddings: enc.embeddings,
+                local_spans: spans.clone(),
+            });
+            local_spans.push(spans);
+        }
+        self.timings.local += t0.elapsed();
+        BatchOutput { first_tweet, local_spans }
+    }
+
+    /// Runs the Global NER stages over everything processed so far and
+    /// returns the final NER output per stored tweet. Can be called
+    /// after every batch (incremental execution) or once at the end.
+    pub fn finalize(&mut self) -> Vec<Vec<Span>> {
+        let t0 = Instant::now();
+        let out = match self.cfg.ablation {
+            AblationMode::LocalOnly => self.tweets.iter().map(|t| t.local_spans.clone()).collect(),
+            mode => {
+                self.extract_and_embed();
+                self.cluster_candidates(mode);
+                self.classify_candidates(mode);
+                self.emit(mode)
+            }
+        };
+        self.timings.global += t0.elapsed();
+        out
+    }
+
+    /// Stage (i)+(ii): CTrie scan over all stored tweets plus phrase
+    /// embedding of every occurrence. Rebuilt from scratch on each call
+    /// so late-discovered surfaces recover early mentions.
+    fn extract_and_embed(&mut self) {
+        self.candidates = CandidateBase::new();
+        for ti in 0..self.tweets.len() {
+            let record = self.tweets.get(ti);
+            let occs = self
+                .ctrie
+                .extract_mentions(&record.tokens, self.cfg.max_mention_len);
+            for occ in occs {
+                let span_probe = Span::new(occ.start, occ.end, EntityType::Person);
+                let local_emb = self.phrase.embed(&record.embeddings, &span_probe);
+                let local_type = record
+                    .local_spans
+                    .iter()
+                    .find(|s| s.start == occ.start && s.end == occ.end)
+                    .map(|s| s.ty);
+                self.candidates.add_mention(
+                    &occ.surface,
+                    MentionRecord {
+                        tweet: ti,
+                        start: occ.start,
+                        end: occ.end,
+                        local_emb,
+                        local_type,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Stage (iii): split each surface's mentions into candidate
+    /// clusters. The ablation variants below full-global use one cluster
+    /// per surface (no ambiguity resolution).
+    fn cluster_candidates(&mut self, mode: AblationMode) {
+        let threshold = self.cfg.cluster_threshold;
+        for (_, entry) in self.candidates.iter_mut() {
+            entry.clusters.clear();
+            if entry.mentions.is_empty() {
+                continue;
+            }
+            if mode == AblationMode::FullGlobal {
+                // Agglomerative clustering is O(n²·merges); very frequent
+                // surfaces (often Local-NER junk like stopwords) can
+                // collect thousands of mentions, so those fall back to
+                // the one-pass online approximation.
+                const BATCH_CLUSTER_CAP: usize = 400;
+                if entry.mentions.len() <= BATCH_CLUSTER_CAP {
+                    let points: Vec<Vec<f32>> =
+                        entry.mentions.iter().map(|m| m.local_emb.clone()).collect();
+                    let clustering = agglomerative(&points, threshold);
+                    for group in clustering.groups() {
+                        entry.clusters.push(CandidateCluster {
+                            members: group,
+                            global_emb: Vec::new(),
+                            label: None,
+                        });
+                    }
+                } else {
+                    let mut online = ngl_cluster::OnlineClusters::new(threshold);
+                    let mut groups: Vec<Vec<usize>> = Vec::new();
+                    for (mi, m) in entry.mentions.iter().enumerate() {
+                        let c = online.insert(&m.local_emb);
+                        if c == groups.len() {
+                            groups.push(Vec::new());
+                        }
+                        groups[c].push(mi);
+                    }
+                    for group in groups {
+                        entry.clusters.push(CandidateCluster {
+                            members: group,
+                            global_emb: Vec::new(),
+                            label: None,
+                        });
+                    }
+                }
+            } else {
+                entry.clusters.push(CandidateCluster {
+                    members: (0..entry.mentions.len()).collect(),
+                    global_emb: Vec::new(),
+                    label: None,
+                });
+            }
+        }
+    }
+
+    /// Stages (iv)+(v): pool each cluster and classify it. In
+    /// [`AblationMode::MentionExtraction`] the "classification" is the
+    /// majority local type instead.
+    fn classify_candidates(&mut self, mode: AblationMode) {
+        let classifier = &self.classifier;
+        let min_confidence = self.cfg.min_confidence;
+        for (_, entry) in self.candidates.iter_mut() {
+            // Split borrow: clusters vs mentions.
+            let mentions = std::mem::take(&mut entry.mentions);
+            for cluster in &mut entry.clusters {
+                match mode {
+                    AblationMode::MentionExtraction => {
+                        cluster.label = Some(majority_local_type(
+                            cluster.members.iter().map(|&m| mentions[m].local_type),
+                        ));
+                    }
+                    AblationMode::FullGlobal => {
+                        let rows: Vec<&[f32]> = cluster
+                            .members
+                            .iter()
+                            .map(|&m| mentions[m].local_emb.as_slice())
+                            .collect();
+                        let locals = Matrix::from_rows(&rows);
+                        cluster.global_emb = classifier.global_embedding(&locals);
+                        cluster.label =
+                            Some(classifier.predict_confident(&locals, min_confidence));
+                    }
+                    AblationMode::LocalClassifier | AblationMode::LocalOnly => {
+                        // Per-mention classification happens at emit time.
+                        cluster.label = None;
+                    }
+                }
+            }
+            entry.mentions = mentions;
+        }
+    }
+
+    /// Produces the final span outputs per tweet.
+    fn emit(&self, mode: AblationMode) -> Vec<Vec<Span>> {
+        let mut out: Vec<Vec<Span>> = vec![Vec::new(); self.tweets.len()];
+        for (_, entry) in self.candidates.iter() {
+            match mode {
+                AblationMode::MentionExtraction | AblationMode::FullGlobal => {
+                    for cluster in &entry.clusters {
+                        let Some(Some(ty)) = cluster.label else {
+                            continue; // unclassified or non-entity
+                        };
+                        for &mi in &cluster.members {
+                            let m = &entry.mentions[mi];
+                            out[m.tweet].push(Span::new(m.start, m.end, ty));
+                        }
+                    }
+                }
+                AblationMode::LocalClassifier => {
+                    for m in &entry.mentions {
+                        let locals = Matrix::from_rows(&[m.local_emb.as_slice()]);
+                        if let Some(ty) =
+                            self.classifier.predict_confident(&locals, self.cfg.min_confidence)
+                        {
+                            out[m.tweet].push(Span::new(m.start, m.end, ty));
+                        }
+                    }
+                }
+                AblationMode::LocalOnly => {}
+            }
+        }
+        for spans in &mut out {
+            spans.sort_by_key(|s| (s.start, s.end));
+        }
+        out
+    }
+
+    /// Local NER outputs of every stored tweet (for ablations and the
+    /// Table IV "Local NER" columns).
+    pub fn local_outputs(&self) -> Vec<Vec<Span>> {
+        self.tweets.iter().map(|t| t.local_spans.clone()).collect()
+    }
+
+    /// Accumulated per-stage wall-clock.
+    pub fn timings(&self) -> StageTimings {
+        self.timings
+    }
+
+    /// Number of surface forms currently registered in the CTrie.
+    pub fn n_surfaces(&self) -> usize {
+        self.ctrie.len()
+    }
+
+    /// Read access to the candidate store (diagnostics, examples).
+    pub fn candidate_base(&self) -> &CandidateBase {
+        &self.candidates
+    }
+
+    /// Read access to the tweet store.
+    pub fn tweet_base(&self) -> &TweetBase {
+        &self.tweets
+    }
+
+    /// The trained local tagger (shared with baselines in experiments).
+    pub fn local_tagger(&self) -> &T {
+        &self.local
+    }
+}
+
+/// Majority vote over the local types of a cluster's mentions; `None`
+/// when no mention carries a local type.
+fn majority_local_type(
+    types: impl Iterator<Item = Option<EntityType>>,
+) -> Option<EntityType> {
+    let mut counts = [0usize; EntityType::COUNT];
+    for t in types.flatten() {
+        counts[t.index()] += 1;
+    }
+    let (best, n) = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .expect("non-empty counts");
+    if *n == 0 {
+        None
+    } else {
+        Some(EntityType::from_index(best))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ClassifierConfig;
+    use crate::phrase::PhraseEmbedderConfig;
+    use ngl_encoder::{SentenceEncoding, SequenceTagger};
+    use ngl_text::BioTag;
+
+    /// A deterministic fake local tagger for pipeline unit tests: tags
+    /// any capitalized token as B-PER and embeds tokens by a hash-driven
+    /// one-hot so the clustering is predictable.
+    struct FakeTagger {
+        dim: usize,
+    }
+
+    impl SequenceTagger for FakeTagger {
+        fn tag(&self, tokens: &[String]) -> Vec<BioTag> {
+            tokens
+                .iter()
+                .map(|t| {
+                    if t.chars().next().is_some_and(|c| c.is_uppercase()) {
+                        BioTag::B(EntityType::Person)
+                    } else {
+                        BioTag::O
+                    }
+                })
+                .collect()
+        }
+    }
+
+    impl ContextualTagger for FakeTagger {
+        fn dim(&self) -> usize {
+            self.dim
+        }
+
+        fn encode(&self, tokens: &[String]) -> SentenceEncoding {
+            let mut emb = Matrix::zeros(tokens.len(), self.dim);
+            for (i, t) in tokens.iter().enumerate() {
+                let h = t.to_lowercase().bytes().map(|b| b as usize).sum::<usize>();
+                emb.row_mut(i)[h % self.dim] = 1.0;
+            }
+            let tags = self.tag(tokens);
+            SentenceEncoding {
+                embeddings: emb,
+                tags,
+                probs: Matrix::zeros(tokens.len(), BioTag::COUNT),
+            }
+        }
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split(' ').map(|x| x.to_string()).collect()
+    }
+
+    fn pipeline(mode: AblationMode) -> NerGlobalizer<FakeTagger> {
+        let dim = 8;
+        NerGlobalizer::new(
+            FakeTagger { dim },
+            PhraseEmbedder::new(PhraseEmbedderConfig { dim, ..Default::default() }),
+            EntityClassifier::new(ClassifierConfig { dim, ..Default::default() }),
+            GlobalizerConfig { ablation: mode, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn local_only_passes_through_local_spans() {
+        let mut p = pipeline(AblationMode::LocalOnly);
+        let batch = vec![toks("Beshear spoke today"), toks("nothing here")];
+        let out = p.process_batch(&batch);
+        assert_eq!(out.local_spans[0].len(), 1);
+        assert!(out.local_spans[1].is_empty());
+        let fin = p.finalize();
+        assert_eq!(fin, p.local_outputs());
+    }
+
+    #[test]
+    fn mention_extraction_recovers_missed_lowercase_mention() {
+        let mut p = pipeline(AblationMode::MentionExtraction);
+        // "Beshear" detected locally in tweet 0; lowercase "beshear" in
+        // tweet 1 is missed by the fake tagger but recovered by the scan.
+        p.process_batch(&[toks("Beshear spoke today"), toks("thanks beshear for this")]);
+        let fin = p.finalize();
+        assert_eq!(fin[0], vec![Span::new(0, 1, EntityType::Person)]);
+        assert_eq!(fin[1], vec![Span::new(1, 2, EntityType::Person)]);
+    }
+
+    #[test]
+    fn surfaces_found_in_later_batches_recover_earlier_mentions() {
+        let mut p = pipeline(AblationMode::MentionExtraction);
+        // Batch 1: lowercase mention, locally missed; no surface yet.
+        p.process_batch(&[toks("saw beshear yesterday")]);
+        // Batch 2: capitalized mention seeds the surface.
+        p.process_batch(&[toks("Beshear responded")]);
+        let fin = p.finalize();
+        assert_eq!(fin[0].len(), 1, "early mention recovered: {fin:?}");
+        assert_eq!(fin[1].len(), 1);
+    }
+
+    #[test]
+    fn timings_accumulate() {
+        let mut p = pipeline(AblationMode::FullGlobal);
+        p.process_batch(&[toks("Beshear spoke")]);
+        p.finalize();
+        let t = p.timings();
+        assert!(t.local > Duration::ZERO);
+        assert!(t.global > Duration::ZERO);
+    }
+
+    #[test]
+    fn full_global_clusters_per_surface() {
+        let mut p = pipeline(AblationMode::FullGlobal);
+        p.process_batch(&[
+            toks("Beshear spoke today"),
+            toks("thanks beshear again"),
+            toks("Beshear announced plans"),
+        ]);
+        p.finalize();
+        let cb = p.candidate_base();
+        let entry = cb.get("beshear").expect("surface registered");
+        assert_eq!(entry.mentions.len(), 3);
+        assert!(!entry.clusters.is_empty());
+        let total: usize = entry.clusters.iter().map(|c| c.members.len()).sum();
+        assert_eq!(total, 3, "clusters partition mentions");
+        // Identical embeddings (same token) must share one cluster.
+        assert_eq!(entry.clusters.len(), 1);
+        assert!(entry.clusters[0].label.is_some());
+        assert_eq!(entry.clusters[0].global_emb.len(), 8);
+    }
+
+    #[test]
+    fn majority_type_vote_breaks_toward_most_frequent() {
+        let t = majority_local_type(
+            [
+                Some(EntityType::Person),
+                Some(EntityType::Location),
+                Some(EntityType::Person),
+                None,
+            ]
+            .into_iter(),
+        );
+        assert_eq!(t, Some(EntityType::Person));
+        assert_eq!(majority_local_type([None, None].into_iter()), None);
+    }
+
+    #[test]
+    fn n_surfaces_counts_unique_folded_forms() {
+        let mut p = pipeline(AblationMode::FullGlobal);
+        p.process_batch(&[toks("Beshear and BESHEAR and Italy")]);
+        // Fake tagger tags all three capitalized tokens; "beshear" folds
+        // to one surface.
+        assert_eq!(p.n_surfaces(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim mismatch")]
+    fn dimension_mismatch_is_rejected() {
+        let _ = NerGlobalizer::new(
+            FakeTagger { dim: 8 },
+            PhraseEmbedder::new(PhraseEmbedderConfig { dim: 16, ..Default::default() }),
+            EntityClassifier::new(ClassifierConfig { dim: 16, ..Default::default() }),
+            GlobalizerConfig::default(),
+        );
+    }
+}

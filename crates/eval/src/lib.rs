@@ -1,0 +1,21 @@
+//! # ngl-eval
+//!
+//! Evaluation machinery for the reproduction:
+//!
+//! * [`metrics`] — span-level exact-match Precision/Recall/F1 per entity
+//!   type, macro-F1 (the paper's summary metric, following the WNUT17
+//!   "F1 (Entity)" convention), and boundary-only EMD scores;
+//! * [`errors`] — the §VI-C error taxonomy: entities entirely missed by
+//!   Local NER, mistyped mentions, partial extractions;
+//! * [`frequency`] — Figure 4: entity-classifier recall binned by gold
+//!   mention frequency (bin width 5).
+
+pub mod confusion;
+pub mod errors;
+pub mod frequency;
+pub mod metrics;
+
+pub use confusion::{ConfusionMatrix, CONFUSION_CLASSES};
+pub use errors::{fully_missed_entities, mistype_stats, ErrorBreakdown, MissStats};
+pub use frequency::{recall_by_frequency, FrequencyBin};
+pub use metrics::{evaluate, evaluate_emd, NerScores, TypeScores};

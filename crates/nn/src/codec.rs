@@ -1,0 +1,219 @@
+//! Compact binary (de)serialization for model tensors.
+//!
+//! A hand-rolled little-endian codec over the `bytes` crate: trained
+//! models (the encoder, phrase embedder and classifier) are persisted as
+//! versioned binary blobs so a deployment can train once and ship the
+//! weights. Formats are length-prefixed and checked on read — a
+//! truncated or corrupted blob fails with [`CodecError`] instead of
+//! producing a garbage model.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::layers::Dense;
+use crate::linalg::Matrix;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof,
+    /// A length or tag field was implausible.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of buffer"),
+            CodecError::Invalid(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Sanity cap on decoded element counts (64M scalars ≈ 256 MB) so a
+/// corrupted length field cannot trigger an enormous allocation.
+const MAX_ELEMENTS: u64 = 64 << 20;
+
+/// Writes a `u64` (lengths, counts, seeds).
+pub fn put_u64(buf: &mut BytesMut, v: u64) {
+    buf.put_u64_le(v);
+}
+
+/// Reads a `u64`.
+pub fn get_u64(buf: &mut Bytes) -> Result<u64, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(buf.get_u64_le())
+}
+
+/// Writes an `f32`.
+pub fn put_f32(buf: &mut BytesMut, v: f32) {
+    buf.put_f32_le(v);
+}
+
+/// Reads an `f32`.
+pub fn get_f32(buf: &mut Bytes) -> Result<f32, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(buf.get_f32_le())
+}
+
+/// Writes a length-prefixed `f32` slice.
+pub fn put_f32_slice(buf: &mut BytesMut, v: &[f32]) {
+    put_u64(buf, v.len() as u64);
+    buf.reserve(4 * v.len());
+    for &x in v {
+        buf.put_f32_le(x);
+    }
+}
+
+/// Reads a length-prefixed `f32` vector.
+pub fn get_f32_vec(buf: &mut Bytes) -> Result<Vec<f32>, CodecError> {
+    let n = get_u64(buf)?;
+    if n > MAX_ELEMENTS {
+        return Err(CodecError::Invalid("slice length"));
+    }
+    if (buf.remaining() as u64) < 4 * n {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+}
+
+/// Writes a matrix (rows, cols, data).
+pub fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
+    put_u64(buf, m.rows() as u64);
+    put_u64(buf, m.cols() as u64);
+    buf.reserve(4 * m.as_slice().len());
+    for &x in m.as_slice() {
+        buf.put_f32_le(x);
+    }
+}
+
+/// Reads a matrix.
+pub fn get_matrix(buf: &mut Bytes) -> Result<Matrix, CodecError> {
+    let rows = get_u64(buf)?;
+    let cols = get_u64(buf)?;
+    let n = rows.checked_mul(cols).ok_or(CodecError::Invalid("matrix shape"))?;
+    if n > MAX_ELEMENTS {
+        return Err(CodecError::Invalid("matrix size"));
+    }
+    if (buf.remaining() as u64) < 4 * n {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let data = (0..n).map(|_| buf.get_f32_le()).collect();
+    Ok(Matrix::from_vec(rows as usize, cols as usize, data))
+}
+
+/// Writes a dense layer (weights + bias).
+pub fn put_dense(buf: &mut BytesMut, d: &Dense) {
+    put_matrix(buf, d.weights());
+    put_f32_slice(buf, d.bias());
+}
+
+/// Reads a dense layer.
+pub fn get_dense(buf: &mut Bytes) -> Result<Dense, CodecError> {
+    let w = get_matrix(buf)?;
+    let b = get_f32_vec(buf)?;
+    if b.len() != w.cols() {
+        return Err(CodecError::Invalid("dense bias length"));
+    }
+    Ok(Dense::from_parts(w, b))
+}
+
+/// Writes a batch-norm layer (γ, β, running stats).
+pub fn put_batchnorm(buf: &mut BytesMut, bn: &crate::layers::BatchNorm1d) {
+    let (gamma, beta, mean, var) = bn.parts();
+    put_f32_slice(buf, gamma);
+    put_f32_slice(buf, beta);
+    put_f32_slice(buf, mean);
+    put_f32_slice(buf, var);
+}
+
+/// Reads a batch-norm layer.
+pub fn get_batchnorm(buf: &mut Bytes) -> Result<crate::layers::BatchNorm1d, CodecError> {
+    let gamma = get_f32_vec(buf)?;
+    let beta = get_f32_vec(buf)?;
+    let mean = get_f32_vec(buf)?;
+    let var = get_f32_vec(buf)?;
+    if beta.len() != gamma.len() || mean.len() != gamma.len() || var.len() != gamma.len() {
+        return Err(CodecError::Invalid("batch-norm part lengths"));
+    }
+    Ok(crate::layers::BatchNorm1d::from_parts(gamma, beta, mean, var))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Init;
+    use rand::SeedableRng;
+
+    fn round_trip<T, W, R>(value: &T, write: W, read: R) -> T
+    where
+        W: Fn(&mut BytesMut, &T),
+        R: Fn(&mut Bytes) -> Result<T, CodecError>,
+    {
+        let mut buf = BytesMut::new();
+        write(&mut buf, value);
+        let mut bytes = buf.freeze();
+        let out = read(&mut bytes).expect("decode");
+        assert_eq!(bytes.remaining(), 0, "trailing bytes");
+        out
+    }
+
+    #[test]
+    fn matrix_round_trips() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.5, 0.0, 1e-9, -7.25]);
+        let back = round_trip(&m, put_matrix, get_matrix);
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn dense_round_trips() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let d = Dense::new(&mut rng, 4, 3, Init::He);
+        let mut buf = BytesMut::new();
+        put_dense(&mut buf, &d);
+        let back = get_dense(&mut buf.freeze()).expect("decode");
+        assert_eq!(d.weights(), back.weights());
+        assert_eq!(d.bias(), back.bias());
+        // And it computes identically.
+        let x = Matrix::from_vec(1, 4, vec![0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(d.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    fn truncated_buffer_fails_cleanly() {
+        let m = Matrix::from_vec(2, 2, vec![1.0; 4]);
+        let mut buf = BytesMut::new();
+        put_matrix(&mut buf, &m);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut sliced = full.slice(0..cut);
+            assert!(
+                get_matrix(&mut sliced).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_length_is_rejected_without_huge_allocation() {
+        let mut buf = BytesMut::new();
+        put_u64(&mut buf, u64::MAX / 2); // rows
+        put_u64(&mut buf, 3); // cols
+        let err = get_matrix(&mut buf.freeze()).expect_err("must fail");
+        assert!(matches!(err, CodecError::Invalid(_) | CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn f32_slice_round_trips_empty_and_full() {
+        for v in [vec![], vec![1.5f32, -2.5, 0.0]] {
+            let got = round_trip(&v, |b, x| put_f32_slice(b, x), get_f32_vec);
+            assert_eq!(v, got);
+        }
+    }
+}

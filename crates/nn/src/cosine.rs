@@ -1,0 +1,129 @@
+//! Cosine geometry helpers.
+//!
+//! The Phrase Embedder (§V-B) and the candidate clustering step (§V-C)
+//! both operate under cosine distance, so these functions are used across
+//! several crates. A tiny epsilon guards the zero vector: the paper never
+//! defines cosine distance at zero, and a zero pooled embedding can only
+//! arise from an all-zero token embedding, which we still must not turn
+//! into NaN.
+
+const EPS: f32 = 1e-12;
+
+/// Cosine similarity in `[-1, 1]` (0 when either vector is ~zero).
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    let denom = (na.sqrt() * nb.sqrt()).max(EPS);
+    (dot / denom).clamp(-1.0, 1.0)
+}
+
+/// Cosine distance `1 - cos(a, b)` in `[0, 2]`.
+///
+/// A value of `1` means orthogonality — the margin the paper sets for its
+/// triplet loss and the natural upper bound for the agglomerative
+/// clustering threshold (§V-C).
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    1.0 - cosine_similarity(a, b)
+}
+
+/// Normalizes `v` to unit L2 norm in place. A ~zero vector is left as is.
+pub fn l2_normalize(v: &mut [f32]) {
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if n > EPS {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Returns a unit-norm copy of `v`.
+pub fn l2_normalized(v: &[f32]) -> Vec<f32> {
+    let mut out = v.to_vec();
+    l2_normalize(&mut out);
+    out
+}
+
+/// Gradient of cosine similarity `cos(a, b)` with respect to `a`.
+///
+/// `d cos / d a = b / (|a||b|) - cos(a,b) * a / |a|²`
+pub fn cosine_similarity_grad_a(a: &[f32], b: &[f32]) -> Vec<f32> {
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt().max(EPS);
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt().max(EPS);
+    let cos = cosine_similarity(a, b);
+    a.iter()
+        .zip(b)
+        .map(|(&ai, &bi)| bi / (na * nb) - cos * ai / (na * na))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_have_zero_distance() {
+        let v = [0.3, -0.2, 0.9];
+        assert!((cosine_distance(&v, &v)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orthogonal_vectors_have_distance_one() {
+        assert!((cosine_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn opposite_vectors_have_distance_two() {
+        assert!((cosine_distance(&[1.0, 0.0], &[-2.0, 0.0]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vector_is_safe() {
+        let d = cosine_distance(&[0.0, 0.0], &[1.0, 1.0]);
+        assert!(d.is_finite());
+        assert!((d - 1.0).abs() < 1e-6, "zero vector treated as orthogonal");
+    }
+
+    #[test]
+    fn normalization_yields_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        l2_normalize(&mut v);
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-6);
+        assert!((v[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn similarity_is_scale_invariant() {
+        let a = [1.0f32, 2.0, -1.0];
+        let b = [0.5f32, -0.25, 2.0];
+        let scaled: Vec<f32> = a.iter().map(|x| x * 7.5).collect();
+        assert!((cosine_similarity(&a, &b) - cosine_similarity(&scaled, &b)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_grad_matches_finite_difference() {
+        let a = [0.4f32, -0.7, 1.1];
+        let b = [0.9f32, 0.2, -0.3];
+        let grad = cosine_similarity_grad_a(&a, &b);
+        let h = 1e-3f32;
+        for i in 0..a.len() {
+            let mut ap = a;
+            ap[i] += h;
+            let mut am = a;
+            am[i] -= h;
+            let fd = (cosine_similarity(&ap, &b) - cosine_similarity(&am, &b)) / (2.0 * h);
+            assert!(
+                (fd - grad[i]).abs() < 1e-3,
+                "grad[{i}]: analytic {} vs fd {fd}",
+                grad[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Weight initialization.
+//!
+//! Glorot/Xavier uniform for tanh-free dense stacks and He/Kaiming for
+//! ReLU stacks. Both take the RNG explicitly so every model in the
+//! workspace is reproducible from a single `u64` seed.
+
+use rand::Rng;
+
+use crate::linalg::Matrix;
+
+/// Glorot/Xavier uniform initialization: `U(-l, l)` with
+/// `l = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix {
+    let limit = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+    let data = (0..fan_in * fan_out)
+        .map(|_| rng.gen_range(-limit..limit))
+        .collect();
+    Matrix::from_vec(fan_in, fan_out, data)
+}
+
+/// He/Kaiming uniform initialization for ReLU layers: `U(-l, l)` with
+/// `l = sqrt(6 / fan_in)`.
+pub fn he_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix {
+    let limit = (6.0f32 / fan_in as f32).sqrt();
+    let data = (0..fan_in * fan_out)
+        .map(|_| rng.gen_range(-limit..limit))
+        .collect();
+    Matrix::from_vec(fan_in, fan_out, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_stays_within_limit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = xavier_uniform(&mut rng, 64, 32);
+        let limit = (6.0f32 / 96.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= limit));
+        assert_eq!((w.rows(), w.cols()), (64, 32));
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(3), 8, 8);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(3), 8, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let a = he_uniform(&mut StdRng::seed_from_u64(1), 8, 8);
+        let b = he_uniform(&mut StdRng::seed_from_u64(2), 8, 8);
+        assert_ne!(a, b);
+    }
+}

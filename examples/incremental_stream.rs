@@ -1,0 +1,90 @@
+//! Incremental stream execution (§III): the pipeline sustains multiple
+//! iterations as batches arrive, and the Global NER quality improves as
+//! the stream accumulates evidence — late batches teach the system
+//! surface forms that recover mentions missed in early batches.
+//!
+//! ```bash
+//! cargo run --release --example incremental_stream
+//! ```
+
+use ner_globalizer::core::{
+    train_globalizer, GlobalizerConfig, GlobalizerTrainingConfig, NerGlobalizer,
+};
+use ner_globalizer::corpus::{Dataset, DatasetSpec, KnowledgeBase, Topic};
+use ner_globalizer::encoder::{train_encoder, EncoderConfig, TokenEncoder, TrainConfig};
+use ner_globalizer::eval::evaluate;
+
+fn main() {
+    let seed = 33;
+    println!("== training (this takes a few seconds) ==");
+    let train_kb = KnowledgeBase::build_in(
+        seed ^ 1,
+        200,
+        ner_globalizer::corpus::namegen::Universe::Train,
+    );
+    let d5_kb = KnowledgeBase::build(seed ^ 2, 120);
+    let eval_kb = KnowledgeBase::build(seed ^ 3, 120);
+    let train_set = Dataset::generate(
+        &DatasetSpec::non_streaming("train", 2_000, seed ^ 0xA),
+        &train_kb,
+    );
+    let d5 = Dataset::generate(
+        &DatasetSpec::streaming("d5", 1_500, Topic::ALL.to_vec(), seed ^ 0xB),
+        &d5_kb,
+    );
+    let stream = Dataset::generate(
+        &DatasetSpec::streaming("politics-stream", 1_200, vec![Topic::Politics], seed ^ 0xC),
+        &eval_kb,
+    );
+    let mut local = TokenEncoder::new(EncoderConfig { seed, ..Default::default() });
+    train_encoder(&mut local, &train_set, &TrainConfig { epochs: 6, ..Default::default() });
+    let trained = train_globalizer(
+        &local,
+        &d5,
+        &GlobalizerTrainingConfig::for_dim(local.out_dim()),
+    );
+
+    let mut pipeline = NerGlobalizer::new(
+        local,
+        trained.phrase,
+        trained.classifier,
+        GlobalizerConfig::default(),
+    );
+
+    println!("== streaming in batches of 200 tweets ==\n");
+    println!("after batch | surfaces | mentions | macro-F1 (all tweets so far)");
+    let mut seen = 0usize;
+    for (bi, batch) in stream.batches(200).enumerate() {
+        let tokens: Vec<Vec<String>> = batch.iter().map(|t| t.tokens.clone()).collect();
+        pipeline.process_batch(&tokens);
+        seen += batch.len();
+        // Re-run the Global NER steps over everything seen so far —
+        // the continuous execution setup of §III.
+        let outputs = pipeline.finalize();
+        let gold: Vec<_> = stream.tweets[..seen].iter().map(|t| t.gold_spans()).collect();
+        let score = evaluate(&gold, &outputs);
+        println!(
+            "{:>11} | {:>8} | {:>8} | {:.3}",
+            bi + 1,
+            pipeline.n_surfaces(),
+            pipeline.candidate_base().total_mentions(),
+            score.macro_f1()
+        );
+    }
+
+    // Contrast: how would the local stage alone have scored on the full
+    // stream?
+    let gold: Vec<_> = stream.tweets.iter().map(|t| t.gold_spans()).collect();
+    let local_score = evaluate(&gold, &pipeline.local_outputs());
+    let final_score = evaluate(&gold, &pipeline.finalize());
+    println!(
+        "\nfinal: Local NER alone {:.3} vs NER Globalizer {:.3} macro-F1",
+        local_score.macro_f1(),
+        final_score.macro_f1()
+    );
+    println!(
+        "Surfaces learned late in the stream retroactively recover early\n\
+         mentions on each finalize pass — the collective-processing gain\n\
+         grows with the stream."
+    );
+}

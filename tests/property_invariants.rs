@@ -1,0 +1,128 @@
+//! Workspace-level property tests on the core invariants the pipeline
+//! depends on.
+
+use proptest::prelude::*;
+
+use ner_globalizer::eval::{evaluate, evaluate_emd};
+use ner_globalizer::nn::{cosine_distance, l2_normalized, Matrix};
+use ner_globalizer::text::{decode_bio, encode_bio, BioTag, EntityType, Span};
+
+fn span_strategy(max_tokens: usize) -> impl Strategy<Value = Span> {
+    (0..max_tokens - 1, 1..3usize, 0..EntityType::COUNT).prop_map(move |(start, len, ty)| {
+        let end = (start + len).min(max_tokens);
+        Span::new(start, end.max(start + 1), EntityType::from_index(ty))
+    })
+}
+
+/// Sorted, non-overlapping spans over `max_tokens` tokens.
+fn disjoint_spans(max_tokens: usize) -> impl Strategy<Value = Vec<Span>> {
+    prop::collection::vec(span_strategy(max_tokens), 0..6).prop_map(|mut spans| {
+        spans.sort_by_key(|s| (s.start, s.end));
+        let mut kept: Vec<Span> = Vec::new();
+        for s in spans {
+            if kept.last().is_none_or(|k| k.end <= s.start) {
+                kept.push(s);
+            }
+        }
+        kept
+    })
+}
+
+proptest! {
+    /// BIO round trip: encode then decode restores exactly the spans.
+    #[test]
+    fn bio_encode_decode_round_trip(spans in disjoint_spans(16)) {
+        let tags = encode_bio(16, &spans);
+        prop_assert_eq!(decode_bio(&tags), spans);
+    }
+
+    /// Decoding arbitrary tag sequences yields valid, disjoint, sorted
+    /// spans covering only in-range tokens.
+    #[test]
+    fn bio_decode_is_total_and_valid(
+        raw in prop::collection::vec(0..BioTag::COUNT, 0..24)
+    ) {
+        let tags: Vec<BioTag> = raw.iter().map(|&i| BioTag::from_index(i)).collect();
+        let spans = decode_bio(&tags);
+        for w in spans.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "overlap: {:?}", w);
+        }
+        for s in &spans {
+            prop_assert!(s.start < s.end && s.end <= tags.len());
+        }
+        // Every B tag starts a span.
+        let b_count = tags.iter().filter(|t| matches!(t, BioTag::B(_))).count();
+        prop_assert!(spans.len() >= b_count);
+    }
+
+    /// Evaluating gold against itself is always perfect; against empty
+    /// predictions precision/recall stay in range.
+    #[test]
+    fn evaluation_bounds(spans in disjoint_spans(16)) {
+        let gold = vec![spans.clone()];
+        let perfect = evaluate(&gold, &gold.clone());
+        prop_assert!((perfect.macro_f1() - 1.0).abs() < 1e-12);
+        let empty = evaluate(&gold, &[vec![]]);
+        for ty in EntityType::ALL {
+            let s = empty.of(ty);
+            prop_assert!((0.0..=1.0).contains(&s.precision()));
+            prop_assert!((0.0..=1.0).contains(&s.recall()));
+            prop_assert!((0.0..=1.0).contains(&s.f1()));
+        }
+        let emd = evaluate_emd(&gold, &gold.clone());
+        prop_assert!(spans.is_empty() || (emd.f1() - 1.0).abs() < 1e-12);
+    }
+
+    /// Cosine distance is a bounded, symmetric, scale-invariant
+    /// pseudo-metric — the geometry clustering relies on.
+    #[test]
+    fn cosine_distance_properties(
+        a in prop::collection::vec(-10.0f32..10.0, 4),
+        b in prop::collection::vec(-10.0f32..10.0, 4),
+        scale in 0.1f32..50.0,
+    ) {
+        let d = cosine_distance(&a, &b);
+        prop_assert!((0.0..=2.0 + 1e-5).contains(&d));
+        prop_assert!((d - cosine_distance(&b, &a)).abs() < 1e-5, "symmetry");
+        let scaled: Vec<f32> = a.iter().map(|x| x * scale).collect();
+        prop_assert!((d - cosine_distance(&scaled, &b)).abs() < 1e-3, "scale invariance");
+        prop_assert!(cosine_distance(&a, &a) < 1e-5, "identity");
+    }
+
+    /// L2 normalization is idempotent and produces unit vectors.
+    #[test]
+    fn l2_normalization_idempotent(
+        v in prop::collection::vec(-10.0f32..10.0, 3)
+            .prop_filter("non-zero", |v| v.iter().map(|x| x * x).sum::<f32>() > 1e-3)
+    ) {
+        let n1 = l2_normalized(&v);
+        let n2 = l2_normalized(&n1);
+        let norm: f32 = n1.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-4);
+        for (a, b) in n1.iter().zip(&n2) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// GEMM distributes over vector application:
+    /// (A·B)·x == A·(B·x) within float tolerance.
+    #[test]
+    fn matmul_is_associative_on_vectors(
+        a in prop::collection::vec(-2.0f32..2.0, 6),
+        b in prop::collection::vec(-2.0f32..2.0, 6),
+        x in prop::collection::vec(-2.0f32..2.0, 2),
+    ) {
+        let a = Matrix::from_vec(3, 2, a);
+        let b = Matrix::from_vec(2, 3, b);
+        let x = Matrix::from_vec(3, 1, {
+            let mut v = x;
+            v.push(0.5);
+            v
+        });
+        let left = a.matmul(&b).matmul(&x);
+        let right = a.matmul(&b.matmul(&x));
+        for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-3, "associativity violated: {l} vs {r}");
+        }
+    }
+}
