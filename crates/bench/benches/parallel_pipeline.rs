@@ -1,0 +1,137 @@
+//! The PR-level perf claims under test: the scoped-thread executor
+//! speeds up batch encoding and finalize on multi-core hosts
+//! (`NGL_THREADS` controls the worker count), and incremental finalize
+//! beats a from-scratch rebuild by a wide margin once a stream has been
+//! scanned.
+//!
+//! Output is identical in every configuration (see
+//! `tests/parallel_equivalence.rs`), so these groups compare cost only.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+use ngl_core::{
+    ClassifierConfig, EntityClassifier, GlobalizerConfig, NerGlobalizer, PhraseEmbedder,
+    PhraseEmbedderConfig,
+};
+use ngl_corpus::{Dataset, DatasetSpec, KnowledgeBase, Topic};
+use ngl_encoder::{EncoderConfig, TokenEncoder};
+use ngl_runtime::Executor;
+
+const SIZES: [usize; 2] = [1_000, 5_000];
+
+fn sentences(n: usize) -> Vec<Vec<String>> {
+    let kb = KnowledgeBase::build(13, 100);
+    let d = Dataset::generate(
+        &DatasetSpec::streaming("bench", n, vec![Topic::Health, Topic::Politics], 29),
+        &kb,
+    );
+    d.tweets.into_iter().map(|t| t.tokens).collect()
+}
+
+fn pipeline(exec: Executor) -> NerGlobalizer<TokenEncoder> {
+    let dim = 32;
+    NerGlobalizer::new(
+        TokenEncoder::new(EncoderConfig { out_dim: dim, ..Default::default() }),
+        PhraseEmbedder::new(PhraseEmbedderConfig { dim, ..Default::default() }),
+        EntityClassifier::new(ClassifierConfig { dim, ..Default::default() }),
+        GlobalizerConfig::default(),
+    )
+    .with_executor(exec)
+}
+
+/// Sequential vs parallel batch encoding.
+fn bench_process_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/process_batch");
+    group.sample_size(10);
+    for n in SIZES {
+        let toks = sentences(n);
+        for (label, exec) in
+            [("seq", Executor::sequential()), ("par", Executor::from_env())]
+        {
+            group.bench_function(format!("{label}_{n}"), |b| {
+                b.iter_batched(
+                    || (pipeline(exec.clone()), toks.clone()),
+                    |(mut p, toks)| {
+                        p.process_batch_owned(black_box(toks));
+                        p.n_surfaces()
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Sequential vs parallel from-scratch finalize (scan + embed + cluster
+/// + classify over the whole stream).
+fn bench_finalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/finalize_full");
+    group.sample_size(10);
+    for n in SIZES {
+        let toks = sentences(n);
+        for (label, exec) in
+            [("seq", Executor::sequential()), ("par", Executor::from_env())]
+        {
+            let mut base = pipeline(exec);
+            base.process_batch_owned(toks.clone());
+            group.bench_function(format!("{label}_{n}"), |b| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut p| {
+                        p.reset_incremental_state();
+                        p.finalize().len()
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Incremental finalize (scan only what arrived since the last call)
+/// vs a forced full rebuild, after a 100-tweet follow-up batch of
+/// already-seen tweets (no new surfaces, so the CTrie version holds and
+/// the incremental path stays on its fast track).
+fn bench_incremental_finalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/finalize_followup");
+    group.sample_size(10);
+    for n in SIZES {
+        let toks = sentences(n);
+        let extra: Vec<Vec<String>> = toks[..100].to_vec();
+        let mut base = pipeline(Executor::from_env());
+        base.process_batch_owned(toks);
+        base.finalize();
+        group.bench_function(format!("incremental_{n}"), |b| {
+            b.iter_batched(
+                || (base.clone(), extra.clone()),
+                |(mut p, extra)| {
+                    p.process_batch_owned(extra);
+                    p.finalize().len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(format!("full_rebuild_{n}"), |b| {
+            b.iter_batched(
+                || (base.clone(), extra.clone()),
+                |(mut p, extra)| {
+                    p.process_batch_owned(extra);
+                    p.reset_incremental_state();
+                    p.finalize().len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_process_batch,
+    bench_finalize,
+    bench_incremental_finalize
+);
+criterion_main!(benches);

@@ -1,18 +1,65 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [--quick] [--seed N] [section ...]
+//! reproduce [--quick] [--seed N] [--timings-json PATH] [section ...]
 //! sections: table1 table2 table3 table4 table5 fig3 fig4
 //!           casestudy errors emd ablations; "all" (default) runs the
 //!           paper artifacts (ablations must be requested explicitly)
 //! ```
+//!
+//! `--timings-json` additionally writes the per-stage pipeline
+//! wall-clock (local, extract+embed, cluster, classify, global) of
+//! every eval dataset to the given path (conventionally
+//! `BENCH_pipeline.json`), forcing the pipeline runs even when no
+//! requested section needs them.
 
 use std::time::Instant;
 
 use ngl_bench::{tables, Experiment, Scale};
 
+/// Hand-rolled JSON emission (the workspace deliberately has no JSON
+/// dependency); dataset names are alphanumeric, so no escaping needed.
+fn write_timings_json(path: &str, exp: &Experiment, runs: &tables::EvalRuns) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"threads\": {},\n  \"datasets\": [\n",
+        ngl_runtime::Executor::from_env().threads()
+    ));
+    for (i, (d, run)) in exp.data.eval.iter().zip(&runs.full).enumerate() {
+        let t = &run.timings;
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"local_s\": {:.6}, \"extract_s\": {:.6}, \
+             \"cluster_s\": {:.6}, \"classify_s\": {:.6}, \"global_s\": {:.6}}}{}\n",
+            d.name,
+            t.local.as_secs_f64(),
+            t.extract.as_secs_f64(),
+            t.cluster.as_secs_f64(),
+            t.classify.as_secs_f64(),
+            t.global.as_secs_f64(),
+            if i + 1 == runs.full.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("[reproduce] failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[reproduce] wrote per-stage timings to {path}");
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Drain `--timings-json <path>` before the section filter below —
+    // the path operand would otherwise be mistaken for a section name.
+    let timings_json = args.iter().position(|a| a == "--timings-json").map(|i| {
+        if i + 1 >= args.len() {
+            eprintln!("--timings-json requires a path (e.g. BENCH_pipeline.json)");
+            std::process::exit(2);
+        }
+        let path = args.remove(i + 1);
+        args.remove(i);
+        path
+    });
     let quick = args.iter().any(|a| a == "--quick");
     let seed = args
         .iter()
@@ -55,9 +102,10 @@ fn main() {
         println!("{}", tables::table2(&exp));
     }
 
-    let needs_runs = ["table3", "table4", "table5", "fig4", "casestudy", "errors", "emd"]
-        .iter()
-        .any(|s| want(s));
+    let needs_runs = timings_json.is_some()
+        || ["table3", "table4", "table5", "fig4", "casestudy", "errors", "emd"]
+            .iter()
+            .any(|s| want(s));
     let runs = if needs_runs {
         eprintln!("[reproduce] running full pipeline over all eval datasets...");
         let t = Instant::now();
@@ -109,6 +157,9 @@ fn main() {
     if want("ablations") {
         eprintln!("[reproduce] sweeping design-choice ablations...");
         println!("{}", tables::ablations(&exp));
+    }
+    if let Some(path) = &timings_json {
+        write_timings_json(path, &exp, runs.as_ref().expect("runs"));
     }
     eprintln!("[reproduce] total {:.1}s", t0.elapsed().as_secs_f64());
 }

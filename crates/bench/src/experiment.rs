@@ -186,7 +186,7 @@ impl Experiment {
         );
         for batch in dataset.batches(500) {
             let tokens: Vec<Vec<String>> = batch.iter().map(|t| t.tokens.clone()).collect();
-            pipeline.process_batch(&tokens);
+            pipeline.process_batch_owned(tokens);
         }
         let global = pipeline.finalize();
         PipelineRun {

@@ -90,7 +90,7 @@ pub fn table2(exp: &Experiment) -> String {
                 ngl_core::GlobalizerConfig::default(),
             );
             let toks: Vec<Vec<String>> = d.tweets.iter().map(|t| t.tokens.clone()).collect();
-            p.process_batch(&toks);
+            p.process_batch_owned(toks);
             let out = p.finalize();
             let gold = Experiment::gold_of(d);
             f1s.push(evaluate(&gold, &out).macro_f1());
@@ -475,7 +475,7 @@ pub fn debug_surfaces(exp: &Experiment, dataset_name: &str) -> String {
         ngl_core::GlobalizerConfig::default(),
     );
     let tokens: Vec<Vec<String>> = d.tweets.iter().map(|t| t.tokens.clone()).collect();
-    pipeline.process_batch(&tokens);
+    pipeline.process_batch_owned(tokens);
     pipeline.finalize();
     let mut by_label: std::collections::BTreeMap<String, Vec<(usize, String)>> =
         std::collections::BTreeMap::new();
@@ -519,7 +519,7 @@ pub fn ablations(exp: &Experiment) -> String {
                 cfg,
             );
             let toks: Vec<Vec<String>> = d.tweets.iter().map(|t| t.tokens.clone()).collect();
-            p.process_batch(&toks);
+            p.process_batch_owned(toks);
             let out = p.finalize();
             let gold = Experiment::gold_of(d);
             f1s.push(evaluate(&gold, &out).macro_f1());
@@ -575,7 +575,7 @@ pub fn ablations(exp: &Experiment) -> String {
                 base,
             );
             let toks: Vec<Vec<String>> = d.tweets.iter().map(|t| t.tokens.clone()).collect();
-            p.process_batch(&toks);
+            p.process_batch_owned(toks);
             let out = p.finalize();
             let gold = Experiment::gold_of(d);
             f1s.push(evaluate(&gold, &out).macro_f1());

@@ -48,10 +48,6 @@ struct ClusterAgg {
 }
 
 impl ClusterAgg {
-    fn single(i: usize, p: &[f32]) -> Self {
-        Self { sum: l2_normalized(p), count: 1, members: vec![i] }
-    }
-
     /// Mean pairwise cosine distance to another cluster.
     fn distance(&self, other: &ClusterAgg) -> f32 {
         let sim = dot(&self.sum, &other.sum) / (self.count * other.count) as f32;
@@ -88,10 +84,15 @@ impl ClusterAgg {
 /// clusters (average linkage over cosine distance) while the minimum
 /// inter-cluster distance is below `threshold`.
 ///
+/// `points` is anything slice-like (`&[Vec<f32>]`, `&[&[f32]]`, …), so
+/// batch callers can pass borrowed mention embeddings without copying
+/// each vector. Every point is L2-normalized exactly once, up front,
+/// before the quadratic merge loop.
+///
 /// Complexity is O(n² · merges); mention sets per surface form are small
 /// (tens to low hundreds), so the quadratic scan is not a bottleneck —
 /// confirmed by the `cluster` Criterion bench.
-pub fn agglomerative(points: &[Vec<f32>], threshold: f32) -> Clustering {
+pub fn agglomerative<P: AsRef<[f32]>>(points: &[P], threshold: f32) -> Clustering {
     let n = points.len();
     if n == 0 {
         return Clustering { assignments: Vec::new(), n_clusters: 0 };
@@ -99,7 +100,7 @@ pub fn agglomerative(points: &[Vec<f32>], threshold: f32) -> Clustering {
     let mut clusters: Vec<ClusterAgg> = points
         .iter()
         .enumerate()
-        .map(|(i, p)| ClusterAgg::single(i, p))
+        .map(|(i, p)| ClusterAgg { sum: l2_normalized(p.as_ref()), count: 1, members: vec![i] })
         .collect();
 
     loop {
@@ -260,7 +261,7 @@ mod tests {
 
     #[test]
     fn empty_and_singleton_inputs() {
-        assert_eq!(agglomerative(&[], 0.5).n_clusters, 0);
+        assert_eq!(agglomerative::<Vec<f32>>(&[], 0.5).n_clusters, 0);
         let c = agglomerative(&[vec![0.3, 0.4]], 0.5);
         assert_eq!(c.n_clusters, 1);
         assert_eq!(c.assignments, vec![0]);
@@ -274,6 +275,18 @@ mod tests {
         let total: usize = groups.iter().map(Vec::len).sum();
         assert_eq!(total, 3);
         assert_eq!(groups.len(), c.n_clusters);
+    }
+
+    #[test]
+    fn borrowed_slices_cluster_identically_to_owned_points() {
+        let owned: Vec<Vec<f32>> = (0..9)
+            .map(|i| {
+                let a = i as f32 * 0.5;
+                vec![a.cos(), a.sin(), 0.1]
+            })
+            .collect();
+        let borrowed: Vec<&[f32]> = owned.iter().map(|p| p.as_slice()).collect();
+        assert_eq!(agglomerative(&owned, 0.4), agglomerative(&borrowed, 0.4));
     }
 
     #[test]

@@ -8,7 +8,42 @@
 //! ([`NerGlobalizer::finalize`]). Per-stage wall-clock is tracked for the
 //! Table IV time-overhead analysis, and [`AblationMode`] switches the
 //! pipeline into the Figure 3 component-ablation variants.
+//!
+//! ## Execution model
+//!
+//! The three hot stages fan out over an [`ngl_runtime::Executor`]
+//! (worker count from `NGL_THREADS`, default = available parallelism):
+//! per-tweet encoding in [`NerGlobalizer::process_batch`], the per-tweet
+//! CTrie scan + phrase embedding, and per-surface clustering +
+//! classification inside [`NerGlobalizer::finalize`]. Every parallel
+//! unit is pure and results are assembled in input order, so parallel
+//! output is **bitwise identical** to the sequential (`NGL_THREADS=1`)
+//! run in every [`AblationMode`] — the invariant the
+//! `parallel_equivalence` property tests pin down.
+//!
+//! ## Incremental finalize
+//!
+//! `finalize()` used to rebuild the whole [`CandidateBase`] from
+//! scratch, making per-batch incremental execution quadratic in stream
+//! length. The pipeline now tracks how far the scan has progressed
+//! (`scanned_tweets`) together with the [`CTrie::version`] it scanned
+//! with, and keeps a mention-embedding cache keyed by
+//! `(tweet, start, end)`:
+//!
+//! * **version unchanged** — only tweets that arrived since the last
+//!   `finalize()` are scanned and embedded; earlier mentions are reused
+//!   as-is.
+//! * **version bumped** (a batch seeded a new surface) — the candidate
+//!   store is rebuilt because new surfaces can change the greedy scan's
+//!   occurrence boundaries anywhere in the stream, but every previously
+//!   embedded `(tweet, start, end)` span is served from the cache
+//!   instead of re-running the phrase embedder.
+//!
+//! Both paths produce byte-identical state to a from-scratch rebuild
+//! (the embedder is frozen and deterministic), so repeated incremental
+//! calls match one end-of-stream call exactly.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -17,9 +52,12 @@ use ngl_cluster::agglomerative;
 use ngl_ctrie::CTrie;
 use ngl_encoder::ContextualTagger;
 use ngl_nn::Matrix;
+use ngl_runtime::Executor;
 use ngl_text::{decode_bio, EntityType, Span};
 
-use crate::bases::{CandidateBase, CandidateCluster, MentionRecord, TweetBase, TweetRecord};
+use crate::bases::{
+    CandidateBase, CandidateCluster, MentionRecord, SurfaceEntry, TweetBase, TweetRecord,
+};
 use crate::classifier::EntityClassifier;
 use crate::phrase::PhraseEmbedder;
 
@@ -71,8 +109,18 @@ impl Default for GlobalizerConfig {
 pub struct StageTimings {
     /// Time spent in Local NER (encoding + tagging + seeding).
     pub local: Duration,
-    /// Time spent in the Global NER stages.
+    /// Total time spent in the Global NER stages
+    /// (≈ `extract + cluster + classify` + emission).
     pub global: Duration,
+    /// CTrie mention extraction + phrase embedding within `global`.
+    #[serde(default)]
+    pub extract: Duration,
+    /// Candidate clustering within `global`.
+    #[serde(default)]
+    pub cluster: Duration,
+    /// Pooling + classification within `global`.
+    #[serde(default)]
+    pub classify: Duration,
 }
 
 /// Output of one processed batch.
@@ -94,6 +142,36 @@ pub struct NerGlobalizer<T: ContextualTagger> {
     tweets: TweetBase,
     candidates: CandidateBase,
     timings: StageTimings,
+    exec: Executor,
+    /// How many stored tweets the mention scan has covered.
+    scanned_tweets: usize,
+    /// The [`CTrie::version`] the scan last ran with; a mismatch means
+    /// new surfaces were seeded and earlier scan results are stale.
+    scanned_version: u64,
+    /// Local mention embeddings by `(tweet, start, end)`. Embeddings
+    /// depend only on the (immutable) tweet record and the span, so
+    /// entries stay valid across CTrie version bumps and candidate
+    /// rebuilds.
+    mention_cache: HashMap<(usize, usize, usize), Vec<f32>>,
+}
+
+impl<T: ContextualTagger + Clone> Clone for NerGlobalizer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            local: self.local.clone(),
+            phrase: self.phrase.clone(),
+            classifier: self.classifier.clone(),
+            cfg: self.cfg,
+            ctrie: self.ctrie.clone(),
+            tweets: self.tweets.clone(),
+            candidates: self.candidates.clone(),
+            timings: self.timings,
+            exec: self.exec.clone(),
+            scanned_tweets: self.scanned_tweets,
+            scanned_version: self.scanned_version,
+            mention_cache: self.mention_cache.clone(),
+        }
+    }
 }
 
 impl<T: ContextualTagger> NerGlobalizer<T> {
@@ -119,19 +197,63 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
             tweets: TweetBase::new(),
             candidates: CandidateBase::new(),
             timings: StageTimings::default(),
+            exec: Executor::from_env(),
+            scanned_tweets: 0,
+            scanned_version: 0,
+            mention_cache: HashMap::new(),
         }
+    }
+
+    /// Replaces the parallel executor (builder style). The default comes
+    /// from [`Executor::from_env`]; pass [`Executor::sequential`] for the
+    /// exact single-threaded execution.
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The executor driving the parallel stages.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// The Local NER stage over one batch of tokenized tweets: tags each
     /// sentence, stores its record, registers detected surface forms in
     /// the CTrie. Returns the batch's local outputs.
-    pub fn process_batch(&mut self, batch: &[Vec<String>]) -> BatchOutput {
+    ///
+    /// Borrowing convenience over [`Self::process_batch_owned`]; callers
+    /// that own their token vectors should prefer the owned variant,
+    /// which moves them into the [`TweetBase`] instead of cloning.
+    pub fn process_batch(&mut self, batch: &[Vec<String>]) -> BatchOutput
+    where
+        T: Sync,
+    {
+        self.process_batch_owned(batch.to_vec())
+    }
+
+    /// [`Self::process_batch`] taking ownership of the batch: token
+    /// vectors and encoder outputs are moved into the stored
+    /// [`TweetRecord`]s — no per-tweet cloning on the hot path.
+    ///
+    /// Tweets are encoded in parallel (each [`ContextualTagger::encode`]
+    /// call is independent); CTrie registration and [`TweetBase`]
+    /// insertion stay sequential in batch order so stored state is
+    /// identical to the sequential execution.
+    pub fn process_batch_owned(&mut self, batch: Vec<Vec<String>>) -> BatchOutput
+    where
+        T: Sync,
+    {
         let t0 = Instant::now();
         let first_tweet = self.tweets.len();
+        let local = &self.local;
+        let encoded: Vec<(ngl_encoder::SentenceEncoding, Vec<Span>)> =
+            self.exec.par_map_ref(&batch, |_, tokens| {
+                let enc = local.encode(tokens);
+                let spans = decode_bio(&enc.tags);
+                (enc, spans)
+            });
         let mut local_spans = Vec::with_capacity(batch.len());
-        for tokens in batch {
-            let enc = self.local.encode(tokens);
-            let spans = decode_bio(&enc.tags);
+        for (tokens, (enc, spans)) in batch.into_iter().zip(encoded) {
             for s in &spans {
                 let surface: Vec<&str> =
                     tokens[s.start..s.end].iter().map(String::as_str).collect();
@@ -141,12 +263,15 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
                     self.ctrie.insert(&surface);
                 }
             }
+            // `Span` is `Copy`, so duplicating the span list for the
+            // batch output is one flat memcpy; tokens and embeddings
+            // move into the record.
+            local_spans.push(spans.clone());
             self.tweets.push(TweetRecord {
-                tokens: tokens.clone(),
+                tokens,
                 embeddings: enc.embeddings,
-                local_spans: spans.clone(),
+                local_spans: spans,
             });
-            local_spans.push(spans);
         }
         self.timings.local += t0.elapsed();
         BatchOutput { first_tweet, local_spans }
@@ -160,9 +285,15 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
         let out = match self.cfg.ablation {
             AblationMode::LocalOnly => self.tweets.iter().map(|t| t.local_spans.clone()).collect(),
             mode => {
+                let t = Instant::now();
                 self.extract_and_embed();
+                self.timings.extract += t.elapsed();
+                let t = Instant::now();
                 self.cluster_candidates(mode);
+                self.timings.cluster += t.elapsed();
+                let t = Instant::now();
                 self.classify_candidates(mode);
+                self.timings.classify += t.elapsed();
                 self.emit(mode)
             }
         };
@@ -170,128 +301,101 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
         out
     }
 
-    /// Stage (i)+(ii): CTrie scan over all stored tweets plus phrase
-    /// embedding of every occurrence. Rebuilt from scratch on each call
-    /// so late-discovered surfaces recover early mentions.
+    /// Stage (i)+(ii): CTrie scan plus phrase embedding of every
+    /// occurrence, incremental where possible (see the module docs):
+    /// with an unchanged CTrie version only tweets beyond
+    /// `scanned_tweets` are scanned; a version bump rebuilds the
+    /// candidate store (late-discovered surfaces recover early mentions
+    /// and can shift greedy scan boundaries) while reusing every cached
+    /// span embedding. Tweets are scanned and embedded in parallel;
+    /// candidate insertion stays sequential in tweet order so the store
+    /// is identical to a sequential full rebuild.
     fn extract_and_embed(&mut self) {
-        self.candidates = CandidateBase::new();
-        for ti in 0..self.tweets.len() {
-            let record = self.tweets.get(ti);
-            let occs = self
-                .ctrie
-                .extract_mentions(&record.tokens, self.cfg.max_mention_len);
-            for occ in occs {
-                let span_probe = Span::new(occ.start, occ.end, EntityType::Person);
-                let local_emb = self.phrase.embed(&record.embeddings, &span_probe);
-                let local_type = record
-                    .local_spans
-                    .iter()
-                    .find(|s| s.start == occ.start && s.end == occ.end)
-                    .map(|s| s.ty);
-                self.candidates.add_mention(
-                    &occ.surface,
-                    MentionRecord {
-                        tweet: ti,
-                        start: occ.start,
-                        end: occ.end,
-                        local_emb,
-                        local_type,
-                    },
-                );
+        let version = self.ctrie.version();
+        let start = if version == self.scanned_version {
+            self.scanned_tweets
+        } else {
+            self.candidates = CandidateBase::new();
+            0
+        };
+        let n = self.tweets.len();
+        if start < n {
+            let ctrie = &self.ctrie;
+            let phrase = &self.phrase;
+            let tweets = &self.tweets;
+            let cache = &self.mention_cache;
+            let max_len = self.cfg.max_mention_len;
+            let per_tweet: Vec<Vec<(String, MentionRecord)>> =
+                self.exec.par_map((start..n).collect::<Vec<usize>>(), |_, ti| {
+                    let record = tweets.get(ti);
+                    ctrie
+                        .extract_mentions(&record.tokens, max_len)
+                        .into_iter()
+                        .map(|occ| {
+                            let local_emb = match cache.get(&(ti, occ.start, occ.end)) {
+                                Some(emb) => emb.clone(),
+                                None => {
+                                    let probe =
+                                        Span::new(occ.start, occ.end, EntityType::Person);
+                                    phrase.embed(&record.embeddings, &probe)
+                                }
+                            };
+                            let local_type = record
+                                .local_spans
+                                .iter()
+                                .find(|s| s.start == occ.start && s.end == occ.end)
+                                .map(|s| s.ty);
+                            (
+                                occ.surface,
+                                MentionRecord {
+                                    tweet: ti,
+                                    start: occ.start,
+                                    end: occ.end,
+                                    local_emb,
+                                    local_type,
+                                },
+                            )
+                        })
+                        .collect()
+                });
+            for tweet_mentions in per_tweet {
+                for (surface, record) in tweet_mentions {
+                    self.mention_cache
+                        .entry((record.tweet, record.start, record.end))
+                        .or_insert_with(|| record.local_emb.clone());
+                    self.candidates.add_mention(&surface, record);
+                }
             }
         }
+        self.scanned_tweets = n;
+        self.scanned_version = version;
     }
 
     /// Stage (iii): split each surface's mentions into candidate
-    /// clusters. The ablation variants below full-global use one cluster
-    /// per surface (no ambiguity resolution).
+    /// clusters, fanning out per surface (each surface's clustering is
+    /// independent). The ablation variants below full-global use one
+    /// cluster per surface (no ambiguity resolution).
     fn cluster_candidates(&mut self, mode: AblationMode) {
         let threshold = self.cfg.cluster_threshold;
-        for (_, entry) in self.candidates.iter_mut() {
-            entry.clusters.clear();
-            if entry.mentions.is_empty() {
-                continue;
-            }
-            if mode == AblationMode::FullGlobal {
-                // Agglomerative clustering is O(n²·merges); very frequent
-                // surfaces (often Local-NER junk like stopwords) can
-                // collect thousands of mentions, so those fall back to
-                // the one-pass online approximation.
-                const BATCH_CLUSTER_CAP: usize = 400;
-                if entry.mentions.len() <= BATCH_CLUSTER_CAP {
-                    let points: Vec<Vec<f32>> =
-                        entry.mentions.iter().map(|m| m.local_emb.clone()).collect();
-                    let clustering = agglomerative(&points, threshold);
-                    for group in clustering.groups() {
-                        entry.clusters.push(CandidateCluster {
-                            members: group,
-                            global_emb: Vec::new(),
-                            label: None,
-                        });
-                    }
-                } else {
-                    let mut online = ngl_cluster::OnlineClusters::new(threshold);
-                    let mut groups: Vec<Vec<usize>> = Vec::new();
-                    for (mi, m) in entry.mentions.iter().enumerate() {
-                        let c = online.insert(&m.local_emb);
-                        if c == groups.len() {
-                            groups.push(Vec::new());
-                        }
-                        groups[c].push(mi);
-                    }
-                    for group in groups {
-                        entry.clusters.push(CandidateCluster {
-                            members: group,
-                            global_emb: Vec::new(),
-                            label: None,
-                        });
-                    }
-                }
-            } else {
-                entry.clusters.push(CandidateCluster {
-                    members: (0..entry.mentions.len()).collect(),
-                    global_emb: Vec::new(),
-                    label: None,
-                });
-            }
-        }
+        let entries: Vec<&mut SurfaceEntry> =
+            self.candidates.iter_mut().map(|(_, e)| e).collect();
+        self.exec.par_map(entries, |_, entry| {
+            cluster_surface(entry, mode, threshold);
+        });
     }
 
-    /// Stages (iv)+(v): pool each cluster and classify it. In
+    /// Stages (iv)+(v): pool each cluster and classify it, fanning out
+    /// per surface (each surface's matmuls are independent). In
     /// [`AblationMode::MentionExtraction`] the "classification" is the
     /// majority local type instead.
     fn classify_candidates(&mut self, mode: AblationMode) {
         let classifier = &self.classifier;
         let min_confidence = self.cfg.min_confidence;
-        for (_, entry) in self.candidates.iter_mut() {
-            // Split borrow: clusters vs mentions.
-            let mentions = std::mem::take(&mut entry.mentions);
-            for cluster in &mut entry.clusters {
-                match mode {
-                    AblationMode::MentionExtraction => {
-                        cluster.label = Some(majority_local_type(
-                            cluster.members.iter().map(|&m| mentions[m].local_type),
-                        ));
-                    }
-                    AblationMode::FullGlobal => {
-                        let rows: Vec<&[f32]> = cluster
-                            .members
-                            .iter()
-                            .map(|&m| mentions[m].local_emb.as_slice())
-                            .collect();
-                        let locals = Matrix::from_rows(&rows);
-                        cluster.global_emb = classifier.global_embedding(&locals);
-                        cluster.label =
-                            Some(classifier.predict_confident(&locals, min_confidence));
-                    }
-                    AblationMode::LocalClassifier | AblationMode::LocalOnly => {
-                        // Per-mention classification happens at emit time.
-                        cluster.label = None;
-                    }
-                }
-            }
-            entry.mentions = mentions;
-        }
+        let entries: Vec<&mut SurfaceEntry> =
+            self.candidates.iter_mut().map(|(_, e)| e).collect();
+        self.exec.par_map(entries, |_, entry| {
+            classify_surface(entry, mode, classifier, min_confidence);
+        });
     }
 
     /// Produces the final span outputs per tweet.
@@ -345,6 +449,24 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
         self.ctrie.len()
     }
 
+    /// Number of span embeddings held by the incremental mention cache
+    /// (diagnostics; grows monotonically with the scanned stream).
+    pub fn cached_mentions(&self) -> usize {
+        self.mention_cache.len()
+    }
+
+    /// Drops all incremental state — the mention-embedding cache and the
+    /// scan watermark — forcing the next [`Self::finalize`] to rebuild
+    /// and re-embed everything from scratch. Benchmarking hook for
+    /// comparing incremental against full-rebuild finalization; output
+    /// is unaffected (both paths are byte-identical).
+    pub fn reset_incremental_state(&mut self) {
+        self.mention_cache.clear();
+        self.scanned_tweets = 0;
+        self.scanned_version = 0;
+        self.candidates = CandidateBase::new();
+    }
+
     /// Read access to the candidate store (diagnostics, examples).
     pub fn candidate_base(&self) -> &CandidateBase {
         &self.candidates
@@ -359,6 +481,94 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     pub fn local_tagger(&self) -> &T {
         &self.local
     }
+}
+
+/// Clusters one surface's mentions in place (stage iii for a single
+/// [`SurfaceEntry`]); free function so the parallel fan-out borrows only
+/// the entry.
+fn cluster_surface(entry: &mut SurfaceEntry, mode: AblationMode, threshold: f32) {
+    entry.clusters.clear();
+    if entry.mentions.is_empty() {
+        return;
+    }
+    if mode == AblationMode::FullGlobal {
+        // Agglomerative clustering is O(n²·merges); very frequent
+        // surfaces (often Local-NER junk like stopwords) can collect
+        // thousands of mentions, so those fall back to the one-pass
+        // online approximation.
+        const BATCH_CLUSTER_CAP: usize = 400;
+        if entry.mentions.len() <= BATCH_CLUSTER_CAP {
+            let points: Vec<&[f32]> =
+                entry.mentions.iter().map(|m| m.local_emb.as_slice()).collect();
+            let clustering = agglomerative(&points, threshold);
+            for group in clustering.groups() {
+                entry.clusters.push(CandidateCluster {
+                    members: group,
+                    global_emb: Vec::new(),
+                    label: None,
+                });
+            }
+        } else {
+            let mut online = ngl_cluster::OnlineClusters::new(threshold);
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            for (mi, m) in entry.mentions.iter().enumerate() {
+                let c = online.insert(&m.local_emb);
+                if c == groups.len() {
+                    groups.push(Vec::new());
+                }
+                groups[c].push(mi);
+            }
+            for group in groups {
+                entry.clusters.push(CandidateCluster {
+                    members: group,
+                    global_emb: Vec::new(),
+                    label: None,
+                });
+            }
+        }
+    } else {
+        entry.clusters.push(CandidateCluster {
+            members: (0..entry.mentions.len()).collect(),
+            global_emb: Vec::new(),
+            label: None,
+        });
+    }
+}
+
+/// Pools and classifies one surface's clusters in place (stages iv+v
+/// for a single [`SurfaceEntry`]).
+fn classify_surface(
+    entry: &mut SurfaceEntry,
+    mode: AblationMode,
+    classifier: &EntityClassifier,
+    min_confidence: f32,
+) {
+    // Split borrow: clusters vs mentions.
+    let mentions = std::mem::take(&mut entry.mentions);
+    for cluster in &mut entry.clusters {
+        match mode {
+            AblationMode::MentionExtraction => {
+                cluster.label = Some(majority_local_type(
+                    cluster.members.iter().map(|&m| mentions[m].local_type),
+                ));
+            }
+            AblationMode::FullGlobal => {
+                let rows: Vec<&[f32]> = cluster
+                    .members
+                    .iter()
+                    .map(|&m| mentions[m].local_emb.as_slice())
+                    .collect();
+                let locals = Matrix::from_rows(&rows);
+                cluster.global_emb = classifier.global_embedding(&locals);
+                cluster.label = Some(classifier.predict_confident(&locals, min_confidence));
+            }
+            AblationMode::LocalClassifier | AblationMode::LocalOnly => {
+                // Per-mention classification happens at emit time.
+                cluster.label = None;
+            }
+        }
+    }
+    entry.mentions = mentions;
 }
 
 /// Majority vote over the local types of a cluster's mentions; `None`
@@ -533,6 +743,128 @@ mod tests {
         // Fake tagger tags all three capitalized tokens; "beshear" folds
         // to one surface.
         assert_eq!(p.n_surfaces(), 2);
+    }
+
+    /// Flattens the candidate store into an exactly comparable
+    /// fingerprint (f32s by bit pattern).
+    fn fingerprint(p: &NerGlobalizer<FakeTagger>) -> Vec<(String, Vec<u64>, Vec<u32>)> {
+        p.candidate_base()
+            .iter()
+            .map(|(surface, e)| {
+                let mut nums: Vec<u64> = Vec::new();
+                let mut bits: Vec<u32> = Vec::new();
+                for m in &e.mentions {
+                    nums.extend([m.tweet as u64, m.start as u64, m.end as u64]);
+                    bits.extend(m.local_emb.iter().map(|x| x.to_bits()));
+                }
+                for c in &e.clusters {
+                    nums.push(u64::MAX); // cluster delimiter
+                    nums.extend(c.members.iter().map(|&m| m as u64));
+                    bits.extend(c.global_emb.iter().map(|x| x.to_bits()));
+                }
+                (surface.to_string(), nums, bits)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_finalize_matches_single_finalize() {
+        let batches = [
+            vec![toks("Beshear spoke today"), toks("saw beshear downtown")],
+            vec![toks("nothing here at all")],
+            vec![toks("Italy won again"), toks("thanks beshear for italy")],
+            vec![toks("more beshear and Italy talk")],
+        ];
+        for mode in [
+            AblationMode::LocalOnly,
+            AblationMode::MentionExtraction,
+            AblationMode::LocalClassifier,
+            AblationMode::FullGlobal,
+        ] {
+            let mut inc = pipeline(mode);
+            let mut full = pipeline(mode);
+            let mut inc_out = Vec::new();
+            for b in &batches {
+                inc.process_batch(b);
+                inc_out = inc.finalize(); // finalize after every batch
+                full.process_batch(b);
+            }
+            let full_out = full.finalize(); // one end-of-stream finalize
+            assert_eq!(inc_out, full_out, "outputs diverge in {mode:?}");
+            assert_eq!(
+                fingerprint(&inc),
+                fingerprint(&full),
+                "candidate state diverges in {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unchanged_trie_version_skips_rescan_of_old_tweets() {
+        let mut p = pipeline(AblationMode::FullGlobal);
+        p.process_batch(&[toks("Beshear spoke today"), toks("thanks beshear again")]);
+        p.finalize();
+        let cached = p.cached_mentions();
+        assert!(cached > 0);
+        // A batch with no new surfaces (known surface + stopwords) keeps
+        // the CTrie version, so only the new tweet is scanned/embedded.
+        p.process_batch(&[toks("more beshear talk")]);
+        p.finalize();
+        assert_eq!(p.cached_mentions(), cached + 1, "exactly the new mention embeds");
+    }
+
+    #[test]
+    fn version_bump_rebuilds_candidates_but_reuses_cached_embeddings() {
+        let mut p = pipeline(AblationMode::FullGlobal);
+        p.process_batch(&[toks("saw beshear and italy yesterday")]);
+        p.finalize();
+        assert_eq!(p.cached_mentions(), 0, "no surfaces yet, nothing embedded");
+        // New surfaces arrive: version bumps, the old tweet is rescanned
+        // and its recovered mentions are embedded and cached.
+        p.process_batch(&[toks("Beshear visited Italy")]);
+        p.finalize();
+        let cached = p.cached_mentions();
+        assert_eq!(cached, 4, "two mentions in each tweet");
+        let fp = fingerprint(&p);
+        // Re-finalizing with no new data is a no-op scan that reproduces
+        // the exact same state from cache.
+        p.finalize();
+        assert_eq!(p.cached_mentions(), cached);
+        assert_eq!(fingerprint(&p), fp);
+    }
+
+    #[test]
+    fn reset_incremental_state_reproduces_identical_output() {
+        let mut p = pipeline(AblationMode::FullGlobal);
+        p.process_batch(&[toks("Beshear spoke today"), toks("thanks beshear again")]);
+        let out = p.finalize();
+        let fp = fingerprint(&p);
+        p.reset_incremental_state();
+        assert_eq!(p.cached_mentions(), 0);
+        let out2 = p.finalize();
+        assert_eq!(out, out2);
+        assert_eq!(fingerprint(&p), fp);
+    }
+
+    #[test]
+    fn sequential_executor_matches_default_executor() {
+        let batch = vec![
+            toks("Beshear spoke today"),
+            toks("thanks beshear again"),
+            toks("Italy won and beshear cheered"),
+        ];
+        for mode in [
+            AblationMode::MentionExtraction,
+            AblationMode::LocalClassifier,
+            AblationMode::FullGlobal,
+        ] {
+            let mut seq = pipeline(mode).with_executor(ngl_runtime::Executor::sequential());
+            let mut par = pipeline(mode).with_executor(ngl_runtime::Executor::new(4));
+            seq.process_batch(&batch);
+            par.process_batch(&batch);
+            assert_eq!(seq.finalize(), par.finalize(), "{mode:?}");
+            assert_eq!(fingerprint(&seq), fingerprint(&par), "{mode:?}");
+        }
     }
 
     #[test]

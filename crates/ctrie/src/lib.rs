@@ -52,6 +52,13 @@ struct Node {
 pub struct CTrie {
     root: Node,
     len: usize,
+    /// Monotonic counter bumped on every *new* surface registration.
+    /// Consumers (the pipeline's incremental mention cache) compare it
+    /// against the version they last scanned with: an unchanged version
+    /// guarantees the trie accepts exactly the same matches, so earlier
+    /// scan results are still valid.
+    #[serde(default)]
+    version: u64,
 }
 
 /// Folds one token for trie matching: lowercase, leading `#` stripped
@@ -88,8 +95,16 @@ impl CTrie {
         } else {
             node.terminal = true;
             self.len += 1;
+            self.version += 1;
             true
         }
+    }
+
+    /// The trie's content version: bumped exactly when [`Self::insert`]
+    /// registers a previously unknown surface. Re-inserting a known
+    /// surface leaves it unchanged.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Whether the exact surface form is registered.
@@ -210,6 +225,20 @@ mod tests {
         assert!(t.insert(&["andy", "beshear"]));
         assert!(!t.insert(&["Andy", "Beshear"])); // case-folded duplicate
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn version_bumps_only_on_new_surfaces() {
+        let mut t = CTrie::new();
+        assert_eq!(t.version(), 0);
+        t.insert(&["andy", "beshear"]);
+        assert_eq!(t.version(), 1);
+        t.insert(&["Andy", "Beshear"]); // duplicate: no bump
+        assert_eq!(t.version(), 1);
+        t.insert(&["andy"]); // prefix of an existing path is still new
+        assert_eq!(t.version(), 2);
+        t.insert::<&str>(&[]); // rejected: no bump
+        assert_eq!(t.version(), 2);
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! # ngl-runtime
+//!
+//! A dependency-free scoped-thread parallel executor for the Globalizer
+//! pipeline's embarrassingly parallel stages (per-tweet encoding, the
+//! CTrie scan + phrase embedding, per-surface clustering and
+//! classification).
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Determinism** — results are assembled in input order no matter
+//!    how the OS schedules workers, and with one worker the execution
+//!    is *exactly* the sequential loop (same call order, same thread).
+//!    Combined with per-item purity this makes parallel output bitwise
+//!    identical to sequential output.
+//! 2. **Zero dependencies** — built on [`std::thread::scope`], atomics
+//!    and mutexes only, so every crate in the workspace can use it
+//!    without pulling in a thread-pool ecosystem.
+//! 3. **Dynamic load balance** — workers pull the next item index from
+//!    a shared atomic counter, so skewed per-item costs (one surface
+//!    form with thousands of mentions next to hundreds of singletons)
+//!    don't serialize on the slowest static shard.
+//!
+//! Worker count comes from [`Executor::from_env`] (the `NGL_THREADS`
+//! environment variable, defaulting to the machine's available
+//! parallelism); `NGL_THREADS=1` is the exact sequential fallback.
+//!
+//! A scoped panic in any worker propagates to the caller once the scope
+//! joins, so failures are never silently swallowed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable controlling the default worker count.
+pub const THREADS_ENV: &str = "NGL_THREADS";
+
+/// A scoped-thread parallel executor with a fixed worker count.
+///
+/// ```
+/// use ngl_runtime::Executor;
+///
+/// let exec = Executor::new(4);
+/// let squares = exec.par_map((0..8usize).collect(), |_, x| x * x);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// // One worker is the exact sequential loop.
+/// assert_eq!(squares, Executor::sequential().par_map((0..8usize).collect(), |_, x| x * x));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Executor {
+    /// An executor with exactly `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// The exact sequential fallback (one worker, no threads spawned).
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Worker count from the `NGL_THREADS` environment variable;
+    /// unset, empty, `0` or unparsable values fall back to
+    /// [`available_parallelism`].
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV) {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Self::new(n),
+                _ => Self::new(available_parallelism()),
+            },
+            Err(_) => Self::new(available_parallelism()),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over owned `items`, returning results **in input
+    /// order**. `f` receives `(index, item)`.
+    ///
+    /// With one worker (or ≤ 1 item) this runs inline on the calling
+    /// thread with no synchronization — the exact sequential loop.
+    /// Otherwise items are pulled dynamically by `min(threads, len)`
+    /// scoped workers; a panicking `f` propagates to the caller.
+    pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        // Item slots are taken exactly once (dynamic scheduling via the
+        // shared counter); result slots are written exactly once and
+        // drained in input order after the scope joins.
+        let slots: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("item slot poisoned")
+                        .take()
+                        .expect("item taken once");
+                    let r = f(i, item);
+                    *results[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("result written")
+            })
+            .collect()
+    }
+
+    /// Borrowing convenience over [`Self::par_map`]: maps `f` over
+    /// `&items[i]` without taking ownership.
+    pub fn par_map_ref<'a, T, R, F>(&self, items: &'a [T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &'a T) -> R + Sync,
+    {
+        self.par_map(items.iter().collect(), |i, t| f(i, t))
+    }
+
+    /// Runs `f` over contiguous chunks of `items` (the last chunk may
+    /// be shorter), returning per-chunk results in chunk order. `f`
+    /// receives `(offset_of_first_item, chunk)`.
+    ///
+    /// Use this when per-item work is too small to amortize the
+    /// per-item scheduling of [`Self::par_map`].
+    pub fn par_chunks<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let chunks: Vec<(usize, &[T])> = items
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(ci, c)| (ci * chunk_size, c))
+            .collect();
+        self.par_map(chunks, |_, (offset, chunk)| f(offset, chunk))
+    }
+}
+
+/// The machine's available parallelism, defaulting to 1 when the query
+/// fails (e.g. restricted containers).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let exec = Executor::new(threads);
+            let out = exec.par_map((0..100usize).collect(), |i, x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..100usize).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential_exactly() {
+        let items: Vec<String> = (0..57).map(|i| format!("tok{i}")).collect();
+        let f = |_: usize, s: &String| format!("{s}!");
+        let seq = Executor::sequential().par_map_ref(&items, f);
+        let par = Executor::new(4).par_map_ref(&items, f);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_runs_every_item_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = Executor::new(7).par_map((0..500usize).collect(), |_, x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton() {
+        let exec = Executor::new(8);
+        let empty: Vec<usize> = exec.par_map(Vec::new(), |_, x: usize| x);
+        assert!(empty.is_empty());
+        assert_eq!(exec.par_map(vec![41usize], |_, x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn par_map_moves_non_clone_items() {
+        struct NoClone(usize);
+        let items: Vec<NoClone> = (0..20).map(NoClone).collect();
+        let out = Executor::new(3).par_map(items, |_, NoClone(x)| x);
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_covers_all_items_with_correct_offsets() {
+        let items: Vec<usize> = (0..103).collect();
+        for threads in [1, 4] {
+            let sums = Executor::new(threads).par_chunks(&items, 10, |offset, chunk| {
+                assert_eq!(chunk[0], offset);
+                chunk.iter().sum::<usize>()
+            });
+            assert_eq!(sums.len(), 11);
+            assert_eq!(sums.iter().sum::<usize>(), items.iter().sum::<usize>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn par_chunks_rejects_zero_chunk() {
+        Executor::new(2).par_chunks(&[1, 2, 3], 0, |_, c: &[i32]| c.len());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            Executor::new(4).par_map((0..64usize).collect(), |_, x| {
+                if x == 33 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Executor::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn from_env_parses_thread_count() {
+        // Touching the process environment is inherently racy between
+        // tests; this is the only test in the crate that does so.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(Executor::from_env().threads(), 3);
+        std::env::set_var(THREADS_ENV, "0");
+        assert_eq!(Executor::from_env().threads(), available_parallelism());
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert_eq!(Executor::from_env().threads(), available_parallelism());
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(Executor::from_env().threads(), available_parallelism());
+    }
+
+    #[test]
+    fn nested_par_map_does_not_deadlock() {
+        let exec = Executor::new(2);
+        let inner = Executor::new(2);
+        let out = exec.par_map((0..8usize).collect(), |_, x| {
+            inner.par_map((0..4usize).collect(), |_, y| x * y).iter().sum::<usize>()
+        });
+        assert_eq!(out, (0..8usize).map(|x| x * 6).collect::<Vec<_>>());
+    }
+}

@@ -68,7 +68,7 @@ fn main() {
         .iter()
         .map(|t| tokenize(t).into_iter().map(|tok| tok.text).collect())
         .collect();
-    pipeline.process_batch(&batch);
+    pipeline.process_batch_owned(batch);
     let out = pipeline.finalize();
 
     for (text, spans) in tweets.iter().zip(&out) {

@@ -84,7 +84,7 @@ fn main() {
     );
     for batch in stream.batches(200) {
         let tokens: Vec<Vec<String>> = batch.iter().map(|t| t.tokens.clone()).collect();
-        pipeline.process_batch(&tokens);
+        pipeline.process_batch_owned(tokens);
     }
     let global = pipeline.finalize();
     let local_out = pipeline.local_outputs();

@@ -17,6 +17,8 @@
 //!   attention pooling, Entity Classifier, CandidateBase/TweetBase.
 //! * [`baselines`] — Aguilar, BERT-NER, Akbik, HIRE-NER, DocL-NER.
 //! * [`eval`] — span-level NER metrics and error analysis.
+//! * [`runtime`] — the scoped-thread parallel executor driving the
+//!   pipeline's hot stages (`NGL_THREADS`-configurable, deterministic).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -28,4 +30,5 @@ pub use ngl_ctrie as ctrie;
 pub use ngl_encoder as encoder;
 pub use ngl_eval as eval;
 pub use ngl_nn as nn;
+pub use ngl_runtime as runtime;
 pub use ngl_text as text;

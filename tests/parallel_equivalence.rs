@@ -1,0 +1,219 @@
+//! The executor contract: parallel execution is **bitwise identical**
+//! to sequential execution in every ablation mode, and incremental
+//! finalization is indistinguishable from an end-of-stream rebuild.
+//!
+//! Uses a deterministic fake tagger so the properties exercise the
+//! pipeline machinery (scan, embed, cluster, classify, caches) rather
+//! than model training.
+
+use proptest::prelude::*;
+
+use ner_globalizer::core::{
+    AblationMode, ClassifierConfig, EntityClassifier, GlobalizerConfig, NerGlobalizer,
+    PhraseEmbedder, PhraseEmbedderConfig,
+};
+use ner_globalizer::encoder::{ContextualTagger, SentenceEncoding, SequenceTagger};
+use ner_globalizer::nn::Matrix;
+use ner_globalizer::runtime::Executor;
+use ner_globalizer::text::{BioTag, EntityType};
+
+const DIM: usize = 8;
+
+/// Deterministic stand-in for Local NER: capitalized tokens tag as
+/// B-PER, embeddings are a case-folded hash one-hot.
+#[derive(Clone)]
+struct FakeTagger;
+
+impl SequenceTagger for FakeTagger {
+    fn tag(&self, tokens: &[String]) -> Vec<BioTag> {
+        tokens
+            .iter()
+            .map(|t| {
+                if t.chars().next().is_some_and(|c| c.is_uppercase()) {
+                    BioTag::B(EntityType::Person)
+                } else {
+                    BioTag::O
+                }
+            })
+            .collect()
+    }
+}
+
+impl ContextualTagger for FakeTagger {
+    fn dim(&self) -> usize {
+        DIM
+    }
+
+    fn encode(&self, tokens: &[String]) -> SentenceEncoding {
+        let mut emb = Matrix::zeros(tokens.len(), DIM);
+        for (i, t) in tokens.iter().enumerate() {
+            let h = t.to_lowercase().bytes().map(|b| b as usize).sum::<usize>();
+            emb.row_mut(i)[h % DIM] = 1.0;
+        }
+        let tags = self.tag(tokens);
+        SentenceEncoding {
+            embeddings: emb,
+            tags,
+            probs: Matrix::zeros(tokens.len(), BioTag::COUNT),
+        }
+    }
+}
+
+fn pipeline(mode: AblationMode, exec: Executor) -> NerGlobalizer<FakeTagger> {
+    NerGlobalizer::new(
+        FakeTagger,
+        PhraseEmbedder::new(PhraseEmbedderConfig { dim: DIM, ..Default::default() }),
+        EntityClassifier::new(ClassifierConfig { dim: DIM, ..Default::default() }),
+        GlobalizerConfig { ablation: mode, ..Default::default() },
+    )
+    .with_executor(exec)
+}
+
+/// Everything a finalize() leaves behind except the wall-clock timings,
+/// with every float captured by bit pattern.
+fn state_fingerprint(p: &NerGlobalizer<FakeTagger>) -> Vec<(String, Vec<u64>, Vec<u32>)> {
+    let mut fp: Vec<(String, Vec<u64>, Vec<u32>)> = p
+        .candidate_base()
+        .iter()
+        .map(|(surface, e)| {
+            let mut nums: Vec<u64> = Vec::new();
+            let mut bits: Vec<u32> = Vec::new();
+            for m in &e.mentions {
+                nums.extend([m.tweet as u64, m.start as u64, m.end as u64]);
+                nums.push(m.local_type.map_or(u64::MAX, |t| t.index() as u64));
+                bits.extend(m.local_emb.iter().map(|x| x.to_bits()));
+            }
+            for c in &e.clusters {
+                nums.push(u64::MAX); // cluster delimiter
+                nums.extend(c.members.iter().map(|&m| m as u64));
+                nums.push(match c.label {
+                    None => 0,
+                    Some(None) => 1,
+                    Some(Some(ty)) => 2 + ty.index() as u64,
+                });
+                bits.extend(c.global_emb.iter().map(|x| x.to_bits()));
+            }
+            (surface.to_string(), nums, bits)
+        })
+        .collect();
+    fp.push((
+        "<meta>".to_string(),
+        vec![p.n_surfaces() as u64, p.cached_mentions() as u64, p.tweet_base().len() as u64],
+        Vec::new(),
+    ));
+    fp
+}
+
+const ALL_MODES: [AblationMode; 4] = [
+    AblationMode::LocalOnly,
+    AblationMode::MentionExtraction,
+    AblationMode::LocalClassifier,
+    AblationMode::FullGlobal,
+];
+
+/// A small mixed-case vocabulary: capitalized forms seed surfaces, the
+/// lowercase twins only surface through the CTrie scan, and the filler
+/// words keep tweets realistic (and exercise the stopword filter).
+const VOCAB: [&str; 14] = [
+    "Beshear", "beshear", "Italy", "italy", "Covid", "covid", "Louisville", "louisville",
+    "the", "a", "today", "spoke", "won", "masks",
+];
+
+/// 1–4 batches of 0–5 tweets of 1–7 vocab tokens each.
+fn batches_strategy() -> impl Strategy<Value = Vec<Vec<Vec<String>>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop::collection::vec(0..VOCAB.len(), 1..8)
+                .prop_map(|ids| ids.into_iter().map(|i| VOCAB[i].to_string()).collect()),
+            0..6,
+        ),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For every ablation mode, a 4-worker run and the exact sequential
+    /// run produce identical outputs after every incremental finalize,
+    /// and identical candidate-store state (floats compared by bits).
+    #[test]
+    fn parallel_runs_are_bitwise_identical_to_sequential(batches in batches_strategy()) {
+        for mode in ALL_MODES {
+            let mut seq = pipeline(mode, Executor::sequential());
+            let mut par = pipeline(mode, Executor::new(4));
+            for batch in &batches {
+                let a = seq.process_batch(batch);
+                let b = par.process_batch(batch);
+                prop_assert_eq!(a.local_spans, b.local_spans, "local spans diverge in {:?}", mode);
+                // Incremental finalize after every batch — the
+                // continuous-execution setup of §III.
+                prop_assert_eq!(seq.finalize(), par.finalize(), "outputs diverge in {:?}", mode);
+            }
+            prop_assert_eq!(
+                state_fingerprint(&seq),
+                state_fingerprint(&par),
+                "state diverges in {:?}",
+                mode
+            );
+        }
+    }
+
+    /// Finalizing after every batch leaves exactly the output and state
+    /// of one end-of-stream finalize, sequentially and in parallel.
+    #[test]
+    fn incremental_finalize_matches_full_rebuild(batches in batches_strategy()) {
+        for mode in ALL_MODES {
+            for threads in [1usize, 4] {
+                let mut inc = pipeline(mode, Executor::new(threads));
+                let mut full = pipeline(mode, Executor::new(threads));
+                let mut inc_out = Vec::new();
+                for batch in &batches {
+                    inc.process_batch(batch);
+                    inc_out = inc.finalize();
+                    full.process_batch(batch);
+                }
+                let full_out = full.finalize();
+                prop_assert_eq!(&inc_out, &full_out, "outputs diverge in {:?}", mode);
+                prop_assert_eq!(
+                    state_fingerprint(&inc),
+                    state_fingerprint(&full),
+                    "state diverges in {:?}",
+                    mode
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic (non-property) regression: a stream where later
+/// batches seed surfaces that occur in earlier tweets, so incremental
+/// finalize has to survive CTrie version bumps mid-stream.
+#[test]
+fn repeated_incremental_finalize_equals_single_finalize() {
+    let toks = |s: &str| s.split(' ').map(str::to_string).collect::<Vec<_>>();
+    let batches = [
+        vec![toks("saw beshear and italy today"), toks("masks won today")],
+        vec![toks("Beshear spoke today")],
+        vec![toks("Italy won masks"), toks("thanks beshear for italy")],
+        vec![toks("covid spoke the a")],
+        vec![toks("Covid in Louisville today"), toks("louisville masks covid")],
+    ];
+    for mode in ALL_MODES {
+        let mut inc = pipeline(mode, Executor::from_env());
+        let mut full = pipeline(mode, Executor::from_env());
+        let mut inc_out = Vec::new();
+        for b in &batches {
+            inc.process_batch(b);
+            inc_out = inc.finalize();
+            full.process_batch(b);
+        }
+        let full_out = full.finalize();
+        assert_eq!(inc_out, full_out, "outputs diverge in {mode:?}");
+        assert_eq!(
+            state_fingerprint(&inc),
+            state_fingerprint(&full),
+            "state diverges in {mode:?}"
+        );
+    }
+}
