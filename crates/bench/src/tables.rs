@@ -17,23 +17,13 @@ pub struct EvalRuns {
     pub full: Vec<PipelineRun>,
 }
 
-/// Runs the full pipeline over all six eval datasets in parallel.
+/// Runs the full pipeline over all six eval datasets in parallel on
+/// the workspace executor (one task per dataset, `NGL_THREADS`-aware).
 pub fn run_all(exp: &Experiment) -> EvalRuns {
-    let mut full: Vec<Option<PipelineRun>> = Vec::new();
-    for _ in 0..exp.data.eval.len() {
-        full.push(None);
-    }
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for d in &exp.data.eval {
-            handles.push(s.spawn(move |_| exp.run_pipeline(d, AblationMode::FullGlobal)));
-        }
-        for (slot, h) in full.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("pipeline thread panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    EvalRuns { full: full.into_iter().map(|r| r.expect("filled")).collect() }
+    let exec = ngl_runtime::Executor::from_env();
+    let full =
+        exec.par_map_ref(&exp.data.eval, |_, d| exp.run_pipeline(d, AblationMode::FullGlobal));
+    EvalRuns { full }
 }
 
 fn per_type_f1(scores: &ngl_eval::NerScores) -> Vec<String> {

@@ -182,11 +182,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         trained.report.classifier_val_macro_f1 * 100.0
     );
 
-    let bundle = GlobalizerBundle {
-        encoder,
-        phrase: trained.phrase,
-        classifier: trained.classifier,
-    };
+    let bundle = GlobalizerBundle::from_models(encoder, trained.phrase, trained.classifier);
     bundle.save(out).map_err(|e| e.to_string())?;
     eprintln!("model saved to {out}");
     Ok(())

@@ -45,6 +45,37 @@ pub struct SurfaceEntry {
     pub mentions: Vec<MentionRecord>,
     /// Current candidate clusters over those mentions.
     pub clusters: Vec<CandidateCluster>,
+    /// Mention count `clusters` was last computed over. Mentions only
+    /// ever append between candidate-store rebuilds, so an entry whose
+    /// count still matches is untouched and its clusters (a pure
+    /// function of the mention set) can be reused verbatim by the next
+    /// finalize.
+    #[serde(default)]
+    pub clustered: usize,
+    /// Mention count the cluster labels/global embeddings were last
+    /// computed over (same skip logic as `clustered`).
+    #[serde(default)]
+    pub classified: usize,
+}
+
+impl SurfaceEntry {
+    /// Whether the mention set changed since clusters were computed.
+    pub fn needs_recluster(&self) -> bool {
+        self.clustered != self.mentions.len()
+    }
+
+    /// Whether the mention set changed since labels were computed.
+    pub fn needs_reclassify(&self) -> bool {
+        self.classified != self.mentions.len()
+    }
+
+    /// Forces the next finalize to recompute this entry even if the
+    /// mention *count* is coincidentally unchanged (used after rebuilds
+    /// that may replace mentions rather than append).
+    pub fn mark_dirty(&mut self) {
+        self.clustered = usize::MAX;
+        self.classified = usize::MAX;
+    }
 }
 
 /// Candidate store keyed by folded surface form.
@@ -107,6 +138,34 @@ impl CandidateBase {
             e.clusters.clear();
         }
     }
+
+    /// Marks every entry dirty so the next finalize recomputes it.
+    pub fn mark_all_dirty(&mut self) {
+        for e in self.surfaces.values_mut() {
+            e.mark_dirty();
+        }
+    }
+
+    /// Installs a fully-formed entry (checkpoint restore).
+    pub(crate) fn insert_entry(&mut self, surface: String, entry: SurfaceEntry) {
+        self.surfaces.insert(surface, entry);
+    }
+
+    /// Keeps only the mentions belonging to tweets `< from`, dropping
+    /// everything newer (and any surface left without mentions). Used
+    /// by the rebuild path after eviction: mentions of evicted tweets
+    /// are *frozen* (their source records are gone, so they can never
+    /// be re-extracted) while the retained suffix of the stream is
+    /// rescanned and re-appended. Clusters are cleared and entries
+    /// marked dirty because the mention sets are about to change.
+    pub(crate) fn truncate_mentions_from_tweet(&mut self, from: usize) {
+        self.surfaces.retain(|_, e| {
+            e.mentions.retain(|m| m.tweet < from);
+            e.clusters.clear();
+            e.mark_dirty();
+            !e.mentions.is_empty()
+        });
+    }
 }
 
 /// One processed tweet sentence.
@@ -120,10 +179,39 @@ pub struct TweetRecord {
     pub local_spans: Vec<Span>,
 }
 
+impl TweetRecord {
+    /// Rough heap footprint of this record in bytes, the unit of
+    /// account for `RetentionPolicy::MaxBytes`. Deliberately simple
+    /// (token bytes + embedding floats + span structs + fixed
+    /// overhead): the retention policy needs a stable, monotone
+    /// measure, not an allocator-exact one.
+    pub fn approx_bytes(&self) -> usize {
+        let token_bytes: usize = self
+            .tokens
+            .iter()
+            .map(|t| t.len() + std::mem::size_of::<String>())
+            .sum();
+        token_bytes
+            + std::mem::size_of_val(self.embeddings.as_slice())
+            + self.local_spans.len() * std::mem::size_of::<Span>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
 /// Store of processed tweets, indexed by arrival order.
+///
+/// Tweet indices are **stable stream positions**: evicting old records
+/// from the front (bounded-state retention) never renumbers survivors.
+/// `len()` keeps counting the whole stream; `retained()` counts what is
+/// physically held; indices below `first_retained()` are evicted and
+/// only reachable through [`TweetBase::try_get`].
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TweetBase {
-    records: Vec<TweetRecord>,
+    records: std::collections::VecDeque<TweetRecord>,
+    /// Stream index of `records[0]` (number of evicted tweets).
+    start: usize,
+    /// Running `approx_bytes` total of the retained records.
+    bytes: usize,
 }
 
 impl TweetBase {
@@ -132,30 +220,83 @@ impl TweetBase {
         Self::default()
     }
 
-    /// Appends a record, returning its index.
+    /// Reassembles a store from an eviction offset and the retained
+    /// records (checkpoint restore); the byte account is recomputed.
+    pub(crate) fn from_parts(start: usize, records: Vec<TweetRecord>) -> Self {
+        let bytes = records.iter().map(TweetRecord::approx_bytes).sum();
+        Self { records: records.into(), start, bytes }
+    }
+
+    /// Appends a record, returning its stream index.
     pub fn push(&mut self, record: TweetRecord) -> usize {
-        self.records.push(record);
-        self.records.len() - 1
+        self.bytes += record.approx_bytes();
+        self.records.push_back(record);
+        self.start + self.records.len() - 1
     }
 
-    /// Record lookup.
+    /// Record lookup. Panics on an out-of-range *or evicted* index —
+    /// internal callers must consult the watermark first; use
+    /// [`Self::try_get`] when eviction is possible.
     pub fn get(&self, idx: usize) -> &TweetRecord {
-        &self.records[idx]
+        self.try_get(idx).unwrap_or_else(|| {
+            panic!(
+                "tweet #{idx} unavailable (evicted below {} or beyond {})",
+                self.start,
+                self.len()
+            )
+        })
     }
 
-    /// Number of stored tweets.
+    /// Record lookup returning `None` for evicted or unseen indices.
+    pub fn try_get(&self, idx: usize) -> Option<&TweetRecord> {
+        idx.checked_sub(self.start).and_then(|i| self.records.get(i))
+    }
+
+    /// Number of tweets ever pushed (evicted ones included) — i.e. the
+    /// stream position, and one past the largest valid index.
     pub fn len(&self) -> usize {
+        self.start + self.records.len()
+    }
+
+    /// Whether no tweets were ever pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of records physically retained.
+    pub fn retained(&self) -> usize {
         self.records.len()
     }
 
-    /// Whether no tweets are stored.
-    pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+    /// Stream index of the oldest retained record (== number of
+    /// evicted records). Equal to `len()` when nothing is retained.
+    pub fn first_retained(&self) -> usize {
+        self.start
     }
 
-    /// Iterates records in arrival order.
+    /// Approximate heap footprint of the retained records, in bytes.
+    pub fn retained_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Evicts the oldest retained record, returning its stream index
+    /// (`None` when nothing is retained).
+    pub fn evict_front(&mut self) -> Option<usize> {
+        let record = self.records.pop_front()?;
+        self.bytes -= record.approx_bytes();
+        let idx = self.start;
+        self.start += 1;
+        Some(idx)
+    }
+
+    /// Iterates **retained** records in arrival order.
     pub fn iter(&self) -> impl Iterator<Item = &TweetRecord> {
         self.records.iter()
+    }
+
+    /// Iterates retained records with their stream indices.
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (usize, &TweetRecord)> {
+        self.records.iter().enumerate().map(|(i, r)| (self.start + i, r))
     }
 }
 
@@ -210,6 +351,99 @@ mod tests {
         assert_eq!(idx, 0);
         assert_eq!(tb.len(), 1);
         assert_eq!(tb.get(0).tokens[1], "home");
+    }
+
+    fn tweet(n_tokens: usize) -> TweetRecord {
+        TweetRecord {
+            tokens: (0..n_tokens).map(|i| format!("t{i}")).collect(),
+            embeddings: Matrix::zeros(n_tokens, 4),
+            local_spans: vec![],
+        }
+    }
+
+    #[test]
+    fn eviction_keeps_stream_indices_stable() {
+        let mut tb = TweetBase::new();
+        for i in 0..5 {
+            assert_eq!(tb.push(tweet(2 + i)), i);
+        }
+        assert_eq!(tb.evict_front(), Some(0));
+        assert_eq!(tb.evict_front(), Some(1));
+        assert_eq!(tb.len(), 5);
+        assert_eq!(tb.retained(), 3);
+        assert_eq!(tb.first_retained(), 2);
+        assert!(tb.try_get(1).is_none());
+        assert_eq!(tb.try_get(2).unwrap().tokens.len(), 4);
+        assert_eq!(tb.get(4).tokens.len(), 6);
+        // New pushes continue the numbering.
+        assert_eq!(tb.push(tweet(1)), 5);
+        let indices: Vec<usize> = tb.iter_indexed().map(|(i, _)| i).collect();
+        assert_eq!(indices, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "evicted")]
+    fn get_panics_on_evicted_index() {
+        let mut tb = TweetBase::new();
+        tb.push(tweet(1));
+        tb.push(tweet(1));
+        tb.evict_front();
+        let _ = tb.get(0);
+    }
+
+    #[test]
+    fn retained_bytes_tracks_push_and_evict() {
+        let mut tb = TweetBase::new();
+        assert_eq!(tb.retained_bytes(), 0);
+        let a = tweet(3).approx_bytes();
+        let b = tweet(7).approx_bytes();
+        assert!(b > a);
+        tb.push(tweet(3));
+        tb.push(tweet(7));
+        assert_eq!(tb.retained_bytes(), a + b);
+        tb.evict_front();
+        assert_eq!(tb.retained_bytes(), b);
+        tb.evict_front();
+        assert_eq!(tb.retained_bytes(), 0);
+        assert_eq!(tb.evict_front(), None);
+    }
+
+    #[test]
+    fn surface_entry_dirty_tracking() {
+        let mut e = SurfaceEntry::default();
+        assert!(!e.needs_recluster()); // 0 mentions, 0 clustered
+        e.mentions.push(record(0));
+        assert!(e.needs_recluster());
+        assert!(e.needs_reclassify());
+        e.clustered = e.mentions.len();
+        e.classified = e.mentions.len();
+        assert!(!e.needs_recluster());
+        assert!(!e.needs_reclassify());
+        e.mark_dirty();
+        assert!(e.needs_recluster());
+        assert!(e.needs_reclassify());
+    }
+
+    #[test]
+    fn truncate_mentions_freezes_old_drops_new() {
+        let mut cb = CandidateBase::new();
+        cb.add_mention("italy", record(0));
+        cb.add_mention("italy", record(3));
+        cb.add_mention("us", record(4));
+        cb.get_mut("italy").expect("entry").clusters.push(CandidateCluster {
+            members: vec![0, 1],
+            global_emb: vec![],
+            label: None,
+        });
+        cb.truncate_mentions_from_tweet(3);
+        let italy = cb.get("italy").expect("entry");
+        assert_eq!(italy.mentions.len(), 1);
+        assert_eq!(italy.mentions[0].tweet, 0);
+        assert!(italy.clusters.is_empty());
+        assert!(italy.needs_recluster());
+        // "us" only had a newer mention — gone entirely.
+        assert!(cb.get("us").is_none());
+        assert_eq!(cb.len(), 1);
     }
 
     #[test]

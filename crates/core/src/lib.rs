@@ -29,6 +29,7 @@
 #![allow(clippy::needless_range_loop)] // index loops are idiomatic in the numeric kernels
 
 pub mod bases;
+pub mod checkpoint;
 pub mod classifier;
 pub mod mining;
 pub mod persist;
@@ -37,10 +38,14 @@ pub mod pipeline;
 pub mod pooling;
 pub mod train;
 
-pub use bases::{CandidateBase, CandidateCluster, MentionRecord, TweetBase};
+pub use bases::{CandidateBase, CandidateCluster, MentionRecord, SurfaceEntry, TweetBase};
+pub use checkpoint::PipelineCheckpoint;
 pub use classifier::{CandidateExample, ClassifierConfig, EntityClassifier};
 pub use persist::{GlobalizerBundle, PersistError};
 pub use phrase::{PhraseEmbedder, PhraseEmbedderConfig, PhraseLoss};
-pub use pipeline::{AblationMode, BatchOutput, GlobalizerConfig, NerGlobalizer, StageTimings};
+pub use pipeline::{
+    AblationMode, BatchOutput, BatchReport, GlobalizerConfig, NerGlobalizer, RetentionPolicy,
+    StageTimings,
+};
 pub use pooling::AttentivePooling;
 pub use train::{train_globalizer, GlobalizerTrainingConfig, GlobalizerTrainingReport};

@@ -1,11 +1,25 @@
 //! Model persistence: save a fully trained NER Globalizer (Local NER
-//! encoder + Phrase Embedder + Entity Classifier) to one versioned
-//! binary file and load it back — train once, deploy anywhere.
+//! encoder + Phrase Embedder + Entity Classifier), optionally together
+//! with a mid-stream [`PipelineCheckpoint`], to one versioned binary
+//! file and load it back — train once, deploy anywhere, restart
+//! without losing stream position.
 //!
-//! Layout: `magic ("NGLB") | version (u32) | encoder | phrase |
-//! classifier`, each component in its own length-checked binary format
-//! (see `ngl_nn::codec`). Corrupted or truncated files fail with a
-//! descriptive [`PersistError`] instead of yielding a broken model.
+//! v2 layout (current):
+//! `magic ("NGLB") | version (u32) | payload_len (u64) | fnv1a64
+//! checksum of payload (u64) | payload`, where the payload is
+//! `encoder | phrase | classifier | has_checkpoint (u64: 0/1) |
+//! [checkpoint]`. The length + checksum header makes partial or
+//! bit-flipped writes detectable before any component parsing runs.
+//!
+//! v1 layout (legacy, still loadable):
+//! `magic | version | encoder | phrase | classifier` — no checksum, no
+//! checkpoint. Loading a v1 bundle yields `checkpoint: None`; a
+//! pipeline built from it simply starts the stream from scratch.
+//!
+//! [`GlobalizerBundle::save`] is **crash-consistent**: bytes are
+//! written to a sibling temp file, fsynced, then atomically renamed
+//! over the destination, so a crash mid-save leaves either the old
+//! complete file or the new complete file — never a torn mix.
 
 use std::io::{Read, Write};
 use std::path::Path;
@@ -15,11 +29,13 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ngl_encoder::TokenEncoder;
 use ngl_nn::CodecError;
 
+use crate::checkpoint::{get_checkpoint, put_checkpoint, PipelineCheckpoint};
 use crate::classifier::EntityClassifier;
 use crate::phrase::PhraseEmbedder;
 
 const MAGIC: &[u8; 4] = b"NGLB";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const LEGACY_VERSION: u32 = 1;
 
 /// Why loading a bundle failed.
 #[derive(Debug)]
@@ -30,6 +46,9 @@ pub enum PersistError {
     BadMagic,
     /// A format version this build cannot read.
     UnsupportedVersion(u32),
+    /// The v2 payload checksum or length did not match (torn write or
+    /// bit rot).
+    ChecksumMismatch,
     /// The payload was malformed.
     Codec(CodecError),
     /// Component dimensions disagree with each other.
@@ -42,6 +61,7 @@ impl std::fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::BadMagic => write!(f, "not an NGLB model file"),
             PersistError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            PersistError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
             PersistError::Codec(e) => write!(f, "malformed payload: {e}"),
             PersistError::Inconsistent(what) => write!(f, "inconsistent bundle: {what}"),
         }
@@ -62,7 +82,19 @@ impl From<CodecError> for PersistError {
     }
 }
 
-/// A complete trained model: everything [`crate::NerGlobalizer`] needs.
+/// FNV-1a 64-bit — tiny, dependency-free integrity hash for the v2
+/// payload. Guards against torn writes and bit rot, not adversaries.
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A complete trained model: everything [`crate::NerGlobalizer`] needs,
+/// plus (optionally) a mid-stream state checkpoint.
 #[derive(Debug, Clone)]
 pub struct GlobalizerBundle {
     /// The fine-tuned Local NER encoder.
@@ -71,21 +103,58 @@ pub struct GlobalizerBundle {
     pub phrase: PhraseEmbedder,
     /// The pooling + classification head.
     pub classifier: EntityClassifier,
+    /// Stream state captured by `NerGlobalizer::export_state`, when
+    /// the bundle is a restart checkpoint rather than a bare model.
+    pub checkpoint: Option<PipelineCheckpoint>,
 }
 
 impl GlobalizerBundle {
-    /// Serializes the bundle into one binary blob.
+    /// A bare model bundle (no stream checkpoint).
+    pub fn from_models(
+        encoder: TokenEncoder,
+        phrase: PhraseEmbedder,
+        classifier: EntityClassifier,
+    ) -> Self {
+        Self { encoder, phrase, classifier, checkpoint: None }
+    }
+
+    /// Serializes the bundle into one binary blob (v2 layout).
     pub fn to_bytes(&self) -> Bytes {
+        let mut payload = BytesMut::new();
+        payload.extend_from_slice(&self.encoder.to_bytes());
+        payload.extend_from_slice(&self.phrase.to_bytes());
+        payload.extend_from_slice(&self.classifier.to_bytes());
+        match &self.checkpoint {
+            None => payload.put_u64_le(0),
+            Some(ck) => {
+                payload.put_u64_le(1);
+                put_checkpoint(&mut payload, ck);
+            }
+        }
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
+        buf.put_u64_le(payload.len() as u64);
+        buf.put_u64_le(fnv1a64(&payload));
+        buf.extend_from_slice(&payload);
+        buf.freeze()
+    }
+
+    /// Serializes in the legacy v1 layout (models only — no checksum,
+    /// no checkpoint). Kept for back-compat tooling and the migration
+    /// tests; new code should use [`Self::to_bytes`].
+    pub fn to_bytes_v1(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(LEGACY_VERSION);
         buf.extend_from_slice(&self.encoder.to_bytes());
         buf.extend_from_slice(&self.phrase.to_bytes());
         buf.extend_from_slice(&self.classifier.to_bytes());
         buf.freeze()
     }
 
-    /// Parses a bundle previously produced by [`Self::to_bytes`].
+    /// Parses a bundle previously produced by [`Self::to_bytes`] (v2)
+    /// or [`Self::to_bytes_v1`] / an older build (v1).
     pub fn from_bytes(mut bytes: Bytes) -> Result<Self, PersistError> {
         if bytes.remaining() < 8 {
             return Err(PersistError::BadMagic);
@@ -96,23 +165,67 @@ impl GlobalizerBundle {
             return Err(PersistError::BadMagic);
         }
         let version = bytes.get_u32_le();
-        if version != VERSION {
-            return Err(PersistError::UnsupportedVersion(version));
+        match version {
+            LEGACY_VERSION => Self::parse_components(bytes, false),
+            VERSION => {
+                if bytes.remaining() < 16 {
+                    return Err(PersistError::ChecksumMismatch);
+                }
+                let payload_len = bytes.get_u64_le();
+                let checksum = bytes.get_u64_le();
+                if bytes.remaining() as u64 != payload_len {
+                    return Err(PersistError::ChecksumMismatch);
+                }
+                if fnv1a64(&bytes) != checksum {
+                    return Err(PersistError::ChecksumMismatch);
+                }
+                Self::parse_components(bytes, true)
+            }
+            v => Err(PersistError::UnsupportedVersion(v)),
         }
+    }
+
+    fn parse_components(mut bytes: Bytes, with_checkpoint: bool) -> Result<Self, PersistError> {
         let encoder = TokenEncoder::from_bytes(&mut bytes)?;
         let phrase = PhraseEmbedder::from_bytes(&mut bytes)?;
         let classifier = EntityClassifier::from_bytes(&mut bytes)?;
+        let checkpoint = if with_checkpoint {
+            match ngl_nn::codec::get_u64(&mut bytes)? {
+                0 => None,
+                1 => Some(get_checkpoint(&mut bytes)?),
+                _ => return Err(PersistError::Codec(CodecError::Invalid(
+                    "checkpoint flag out of range",
+                ))),
+            }
+        } else {
+            None
+        };
         if encoder.out_dim() != phrase.dim() {
             return Err(PersistError::Inconsistent("encoder vs phrase dim"));
         }
-        Ok(Self { encoder, phrase, classifier })
+        Ok(Self { encoder, phrase, classifier, checkpoint })
     }
 
-    /// Writes the bundle to a file.
+    /// Writes the bundle to `path` atomically: the bytes land in a
+    /// sibling `<name>.tmp` file, are fsynced, and are renamed over the
+    /// destination in one step — a crash at any point leaves a
+    /// complete file (old or new), never a torn one.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(&self.to_bytes())?;
-        Ok(())
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let write = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+            drop(f);
+            std::fs::rename(&tmp, path)
+        })();
+        if write.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        Ok(write?)
     }
 
     /// Loads a bundle from a file.
@@ -144,11 +257,11 @@ mod tests {
         // Give it a transition model so the optional branch is covered.
         let t = ngl_text::BioTag::COUNT;
         encoder.set_transitions(vec![-1.0; t * t]);
-        GlobalizerBundle {
+        GlobalizerBundle::from_models(
             encoder,
-            phrase: PhraseEmbedder::new(PhraseEmbedderConfig { dim, seed: 14, ..Default::default() }),
-            classifier: EntityClassifier::new(ClassifierConfig { dim, seed: 15, ..Default::default() }),
-        }
+            PhraseEmbedder::new(PhraseEmbedderConfig { dim, seed: 14, ..Default::default() }),
+            EntityClassifier::new(ClassifierConfig { dim, seed: 15, ..Default::default() }),
+        )
     }
 
     fn toks(s: &str) -> Vec<String> {
@@ -160,6 +273,7 @@ mod tests {
         let b = bundle();
         let bytes = b.to_bytes();
         let back = GlobalizerBundle::from_bytes(bytes).expect("load");
+        assert!(back.checkpoint.is_none());
 
         // The models must behave identically, not just parse.
         let sent = toks("gov Beshear said stay home");
@@ -181,6 +295,16 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_bytes_still_load() {
+        let b = bundle();
+        let v1 = b.to_bytes_v1();
+        let back = GlobalizerBundle::from_bytes(v1).expect("v1 load");
+        assert!(back.checkpoint.is_none());
+        let sent = toks("gov Beshear said stay home");
+        assert_eq!(b.encoder.encode(&sent).embeddings, back.encoder.encode(&sent).embeddings);
+    }
+
+    #[test]
     fn save_and_load_via_file() {
         let b = bundle();
         let dir = std::env::temp_dir().join("ngl-persist-test");
@@ -189,6 +313,19 @@ mod tests {
         b.save(&path).expect("save");
         let back = GlobalizerBundle::load(&path).expect("load");
         assert_eq!(b.encoder.out_dim(), back.encoder.out_dim());
+        // The atomic-save staging file must not linger.
+        assert!(!dir.join("model.nglb.tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_replaces_existing_file_atomically() {
+        let dir = std::env::temp_dir().join("ngl-persist-atomic-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("model.nglb");
+        std::fs::write(&path, b"garbage from a previous life").expect("seed file");
+        bundle().save(&path).expect("save over existing");
+        assert!(GlobalizerBundle::load(&path).is_ok());
         std::fs::remove_file(&path).ok();
     }
 
@@ -209,17 +346,35 @@ mod tests {
     }
 
     #[test]
-    fn truncation_anywhere_fails_cleanly() {
-        let bytes = bundle().to_bytes();
-        // Sample a spread of truncation points (checking all ~100k is slow).
-        for frac in [0.1, 0.35, 0.6, 0.85, 0.99] {
-            let cut = (bytes.len() as f64 * frac) as usize;
-            let sliced = bytes.slice(0..cut);
+    fn corruption_is_detected_by_checksum() {
+        let bytes = bundle().to_bytes().to_vec();
+        // Flip one bit somewhere inside the payload (past the 24-byte
+        // header).
+        for pos in [24, bytes.len() / 2, bytes.len() - 1] {
+            let mut corrupted = bytes.clone();
+            corrupted[pos] ^= 0x40;
+            let err = GlobalizerBundle::from_bytes(Bytes::from(corrupted))
+                .expect_err("corruption must fail");
             assert!(
-                GlobalizerBundle::from_bytes(sliced).is_err(),
-                "truncation at {cut}/{} must fail",
-                bytes.len()
+                matches!(err, PersistError::ChecksumMismatch),
+                "bit flip at {pos} gave {err:?}"
             );
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_fails_cleanly() {
+        for bytes in [bundle().to_bytes(), bundle().to_bytes_v1()] {
+            // Sample a spread of truncation points (all ~100k is slow).
+            for frac in [0.1, 0.35, 0.6, 0.85, 0.99] {
+                let cut = (bytes.len() as f64 * frac) as usize;
+                let sliced = bytes.slice(0..cut);
+                assert!(
+                    GlobalizerBundle::from_bytes(sliced).is_err(),
+                    "truncation at {cut}/{} must fail",
+                    bytes.len()
+                );
+            }
         }
     }
 }

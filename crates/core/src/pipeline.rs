@@ -42,8 +42,26 @@
 //! Both paths produce byte-identical state to a from-scratch rebuild
 //! (the embedder is frozen and deterministic), so repeated incremental
 //! calls match one end-of-stream call exactly.
+//!
+//! ## Fault tolerance & bounded state
+//!
+//! The stream-facing entry points come in *fault-isolated* variants
+//! ([`NerGlobalizer::try_process_batch_owned`],
+//! [`NerGlobalizer::try_process_batch_with_ids`]) built on
+//! [`Executor::try_par_map`]: a tweet whose encoding task panics, whose
+//! embeddings come back non-finite, that re-uses an already-seen id, or
+//! that is empty (when [`GlobalizerConfig::reject_empty`] is set)
+//! degrades to a **skipped record** reported in a [`BatchReport`]
+//! instead of tearing down the pipeline. Rejected tweets are never
+//! stored, so the resulting state is *exactly* the state of a clean run
+//! over the surviving inputs. [`GlobalizerConfig::retention`] bounds
+//! the [`TweetBase`] and the mention cache; eviction only ever removes
+//! tweets strictly below the scan watermark (see
+//! [`NerGlobalizer::scan_watermark`]), so incremental finalize stays
+//! correct — evicted tweets keep their already-extracted mentions
+//! frozen in the candidate store.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -52,13 +70,15 @@ use ngl_cluster::agglomerative;
 use ngl_ctrie::CTrie;
 use ngl_encoder::ContextualTagger;
 use ngl_nn::Matrix;
-use ngl_runtime::Executor;
+use ngl_runtime::{Executor, TaskError};
 use ngl_text::{decode_bio, EntityType, Span};
 
 use crate::bases::{
     CandidateBase, CandidateCluster, MentionRecord, SurfaceEntry, TweetBase, TweetRecord,
 };
+use crate::checkpoint::PipelineCheckpoint;
 use crate::classifier::EntityClassifier;
+use crate::persist::PersistError;
 use crate::phrase::PhraseEmbedder;
 
 /// Which pipeline variant runs (Figure 3's incremental component study).
@@ -76,6 +96,22 @@ pub enum AblationMode {
     FullGlobal,
 }
 
+/// How much stream state the pipeline retains (TweetBase records plus
+/// the derived mention cache). Eviction is **watermark-aware**: only
+/// tweets strictly below the scan watermark are ever evicted, so the
+/// incremental scan never loses unscanned input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RetentionPolicy {
+    /// Keep everything (the default; historical behaviour).
+    #[default]
+    Unbounded,
+    /// Keep at most this many tweet records.
+    MaxTweets(usize),
+    /// Keep tweet records totalling at most this many (approximate)
+    /// heap bytes — see `TweetRecord::approx_bytes`.
+    MaxBytes(usize),
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct GlobalizerConfig {
@@ -91,6 +127,25 @@ pub struct GlobalizerConfig {
     pub min_confidence: f32,
     /// Which variant to run.
     pub ablation: AblationMode,
+    /// Bound on retained stream state (tweets + mention cache).
+    #[serde(default)]
+    pub retention: RetentionPolicy,
+    /// Hard cap on tokens ingested per tweet; longer token lists are
+    /// truncated at the `try_process_*` boundary (reported in
+    /// [`BatchReport::truncated`]) so one adversarial record can't blow
+    /// up encoder cost or stored state.
+    #[serde(default = "default_max_tweet_tokens")]
+    pub max_tweet_tokens: usize,
+    /// When set, tweets with no tokens are rejected into the
+    /// [`BatchReport`] instead of stored as empty records. Off by
+    /// default: empty records are harmless and keeping them preserves
+    /// the historical 1:1 batch-to-store mapping.
+    #[serde(default)]
+    pub reject_empty: bool,
+}
+
+fn default_max_tweet_tokens() -> usize {
+    1024
 }
 
 impl Default for GlobalizerConfig {
@@ -100,6 +155,9 @@ impl Default for GlobalizerConfig {
             cluster_threshold: 0.7,
             min_confidence: 0.35,
             ablation: AblationMode::FullGlobal,
+            retention: RetentionPolicy::Unbounded,
+            max_tweet_tokens: default_max_tweet_tokens(),
+            reject_empty: false,
         }
     }
 }
@@ -128,8 +186,35 @@ pub struct StageTimings {
 pub struct BatchOutput {
     /// Index of the first tweet of this batch in the stream.
     pub first_tweet: usize,
-    /// Local NER spans per tweet of the batch.
+    /// Local NER spans per **accepted** tweet of the batch, aligned
+    /// with the records stored from `first_tweet` on (identical to
+    /// per-input alignment when nothing was rejected).
     pub local_spans: Vec<Vec<Span>>,
+}
+
+/// Fault accounting for one `try_process_*` batch: which inputs were
+/// stored, which were dropped and why, and which were truncated on the
+/// way in. Indices are batch-local input positions.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Inputs accepted into the [`TweetBase`], in input order.
+    pub ok: Vec<usize>,
+    /// Inputs dropped (panicking encode task, non-finite embeddings,
+    /// duplicate id, empty tweet under `reject_empty`), in input order.
+    pub rejected: Vec<usize>,
+    /// Why each rejected input was dropped — `errors[k]` explains
+    /// `rejected[k]`, and `errors[k].index` is that input position.
+    pub errors: Vec<TaskError>,
+    /// Inputs stored only after their token list was cut to
+    /// [`GlobalizerConfig::max_tweet_tokens`].
+    pub truncated: Vec<usize>,
+}
+
+impl BatchReport {
+    /// Whether every input of the batch was stored untruncated.
+    pub fn all_ok(&self) -> bool {
+        self.rejected.is_empty() && self.truncated.is_empty()
+    }
 }
 
 /// The NER Globalizer system.
@@ -153,6 +238,14 @@ pub struct NerGlobalizer<T: ContextualTagger> {
     /// entries stay valid across CTrie version bumps and candidate
     /// rebuilds.
     mention_cache: HashMap<(usize, usize, usize), Vec<f32>>,
+    /// Tweet ids already consumed by [`Self::try_process_batch_with_ids`]
+    /// (ids are claimed on first sight, even if that record is later
+    /// rejected, so replays are deterministic).
+    seen_ids: BTreeSet<u64>,
+    /// Task errors from fault-isolated finalize scans, drained by
+    /// [`Self::take_finalize_errors`]. Transient diagnostics — not part
+    /// of checkpointed state.
+    finalize_errors: Vec<TaskError>,
 }
 
 impl<T: ContextualTagger + Clone> Clone for NerGlobalizer<T> {
@@ -170,6 +263,8 @@ impl<T: ContextualTagger + Clone> Clone for NerGlobalizer<T> {
             scanned_tweets: self.scanned_tweets,
             scanned_version: self.scanned_version,
             mention_cache: self.mention_cache.clone(),
+            seen_ids: self.seen_ids.clone(),
+            finalize_errors: self.finalize_errors.clone(),
         }
     }
 }
@@ -201,6 +296,8 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
             scanned_tweets: 0,
             scanned_version: 0,
             mention_cache: HashMap::new(),
+            seen_ids: BTreeSet::new(),
+            finalize_errors: Vec::new(),
         }
     }
 
@@ -235,46 +332,178 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     /// vectors and encoder outputs are moved into the stored
     /// [`TweetRecord`]s — no per-tweet cloning on the hot path.
     ///
-    /// Tweets are encoded in parallel (each [`ContextualTagger::encode`]
-    /// call is independent); CTrie registration and [`TweetBase`]
+    /// Fault-isolated under the hood (see
+    /// [`Self::try_process_batch_owned`]): a poison tweet is silently
+    /// skipped here; callers that need to observe skips should use the
+    /// `try_` variant.
+    pub fn process_batch_owned(&mut self, batch: Vec<Vec<String>>) -> BatchOutput
+    where
+        T: Sync,
+    {
+        self.try_process_batch_owned(batch).0
+    }
+
+    /// Fault-isolated batch ingestion. Tweets are encoded in parallel
+    /// (each [`ContextualTagger::encode`] call is independent) with
+    /// per-task panic isolation; CTrie registration and [`TweetBase`]
     /// insertion stay sequential in batch order so stored state is
     /// identical to the sequential execution.
-    pub fn process_batch_owned(&mut self, batch: Vec<Vec<String>>) -> BatchOutput
+    ///
+    /// A tweet is **rejected** — dropped before storage, reported in
+    /// the [`BatchReport`] — when its encode task panics, its
+    /// embeddings contain NaN/Inf, or it is empty while
+    /// [`GlobalizerConfig::reject_empty`] is set. Rejected tweets leave
+    /// no trace in pipeline state: the store after a faulty batch is
+    /// exactly the store of a clean run over the surviving inputs.
+    pub fn try_process_batch_owned(
+        &mut self,
+        batch: Vec<Vec<String>>,
+    ) -> (BatchOutput, BatchReport)
+    where
+        T: Sync,
+    {
+        let batch = batch.into_iter().map(|tokens| (None, tokens)).collect();
+        self.try_process_impl(batch)
+    }
+
+    /// [`Self::try_process_batch_owned`] for id-carrying streams: a
+    /// tweet whose id was already seen (in this or any earlier batch)
+    /// is additionally rejected as a duplicate. Ids are claimed on
+    /// first sight even when that record is rejected for another
+    /// reason, so replay behaviour is deterministic.
+    pub fn try_process_batch_with_ids(
+        &mut self,
+        batch: Vec<(u64, Vec<String>)>,
+    ) -> (BatchOutput, BatchReport)
+    where
+        T: Sync,
+    {
+        let batch = batch.into_iter().map(|(id, tokens)| (Some(id), tokens)).collect();
+        self.try_process_impl(batch)
+    }
+
+    fn try_process_impl(
+        &mut self,
+        mut batch: Vec<(Option<u64>, Vec<String>)>,
+    ) -> (BatchOutput, BatchReport)
     where
         T: Sync,
     {
         let t0 = Instant::now();
         let first_tweet = self.tweets.len();
-        let local = &self.local;
-        let encoded: Vec<(ngl_encoder::SentenceEncoding, Vec<Span>)> =
-            self.exec.par_map_ref(&batch, |_, tokens| {
-                let enc = local.encode(tokens);
-                let spans = decode_bio(&enc.tags);
-                (enc, spans)
-            });
-        let mut local_spans = Vec::with_capacity(batch.len());
-        for (tokens, (enc, spans)) in batch.into_iter().zip(encoded) {
-            for s in &spans {
-                let surface: Vec<&str> =
-                    tokens[s.start..s.end].iter().map(String::as_str).collect();
-                // Stray tags on bare function words are partial-
-                // extraction artifacts, never real candidates.
-                if !ngl_text::is_stopword_surface(&surface) {
-                    self.ctrie.insert(&surface);
+        let n = batch.len();
+        let mut report = BatchReport::default();
+
+        // Ingress guards run sequentially in input order: oversized
+        // token lists are truncated (so stored tokens and embeddings
+        // always agree), duplicates and empties are rejected before
+        // any encoder work is spent on them.
+        let cap = self.cfg.max_tweet_tokens.max(1);
+        let mut pre_rejected: Vec<Option<TaskError>> = (0..n).map(|_| None).collect();
+        for (i, (id, tokens)) in batch.iter_mut().enumerate() {
+            if tokens.len() > cap {
+                tokens.truncate(cap);
+                report.truncated.push(i);
+            }
+            if let Some(id) = *id {
+                if !self.seen_ids.insert(id) {
+                    pre_rejected[i] = Some(TaskError {
+                        index: i,
+                        payload: summarize_tokens(tokens),
+                        message: format!("duplicate tweet id {id}"),
+                    });
+                    continue;
                 }
             }
-            // `Span` is `Copy`, so duplicating the span list for the
-            // batch output is one flat memcpy; tokens and embeddings
-            // move into the record.
-            local_spans.push(spans.clone());
-            self.tweets.push(TweetRecord {
-                tokens,
-                embeddings: enc.embeddings,
-                local_spans: spans,
+            if self.cfg.reject_empty && tokens.is_empty() {
+                pre_rejected[i] = Some(TaskError {
+                    index: i,
+                    payload: String::new(),
+                    message: "empty tweet rejected".to_string(),
+                });
+            }
+        }
+
+        // Parallel panic-isolated encode over the survivors.
+        let survivors: Vec<(usize, Vec<String>)> = batch
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| pre_rejected[*i].is_none())
+            .map(|(i, (_, tokens))| (i, tokens))
+            .collect();
+        let survivor_input: Vec<usize> = survivors.iter().map(|(i, _)| *i).collect();
+        let local = &self.local;
+        let encoded = self.exec.try_par_map_described(
+            survivors,
+            |(i, tokens)| format!("input #{i}: {}", summarize_tokens(tokens)),
+            |_, (i, tokens)| {
+                let enc = local.encode(&tokens);
+                let spans = decode_bio(&enc.tags);
+                (i, tokens, enc, spans)
+            },
+        );
+
+        // Sequential assembly in input order: merge ingress rejections
+        // with encode results, then store the accepted tweets.
+        enum Slot {
+            Rejected(TaskError),
+            Ready(Vec<String>, ngl_encoder::SentenceEncoding, Vec<Span>),
+        }
+        let mut slots: Vec<Option<Slot>> = pre_rejected
+            .into_iter()
+            .map(|e| e.map(Slot::Rejected))
+            .collect();
+        for (k, result) in encoded.into_iter().enumerate() {
+            let i = survivor_input[k];
+            slots[i] = Some(match result {
+                Ok((_, tokens, enc, spans)) => {
+                    if enc.embeddings.as_slice().iter().all(|v| v.is_finite()) {
+                        Slot::Ready(tokens, enc, spans)
+                    } else {
+                        Slot::Rejected(TaskError {
+                            index: i,
+                            payload: summarize_tokens(&tokens),
+                            message: "non-finite embeddings rejected".to_string(),
+                        })
+                    }
+                }
+                // The executor reports the task's position among the
+                // survivors; surface the batch input position instead.
+                Err(e) => Slot::Rejected(TaskError { index: i, ..e }),
             });
         }
+        let mut local_spans = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.expect("every slot filled") {
+                Slot::Rejected(e) => {
+                    report.rejected.push(i);
+                    report.errors.push(e);
+                }
+                Slot::Ready(tokens, enc, spans) => {
+                    for s in &spans {
+                        let surface: Vec<&str> =
+                            tokens[s.start..s.end].iter().map(String::as_str).collect();
+                        // Stray tags on bare function words are partial-
+                        // extraction artifacts, never real candidates.
+                        if !ngl_text::is_stopword_surface(&surface) {
+                            self.ctrie.insert(&surface);
+                        }
+                    }
+                    // `Span` is `Copy`, so duplicating the span list for
+                    // the batch output is one flat memcpy; tokens and
+                    // embeddings move into the record.
+                    local_spans.push(spans.clone());
+                    self.tweets.push(TweetRecord {
+                        tokens,
+                        embeddings: enc.embeddings,
+                        local_spans: spans,
+                    });
+                    report.ok.push(i);
+                }
+            }
+        }
         self.timings.local += t0.elapsed();
-        BatchOutput { first_tweet, local_spans }
+        (BatchOutput { first_tweet, local_spans }, report)
     }
 
     /// Runs the Global NER stages over everything processed so far and
@@ -283,7 +512,14 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     pub fn finalize(&mut self) -> Vec<Vec<Span>> {
         let t0 = Instant::now();
         let out = match self.cfg.ablation {
-            AblationMode::LocalOnly => self.tweets.iter().map(|t| t.local_spans.clone()).collect(),
+            AblationMode::LocalOnly => (0..self.tweets.len())
+                .map(|i| {
+                    self.tweets
+                        .try_get(i)
+                        .map(|t| t.local_spans.clone())
+                        .unwrap_or_default()
+                })
+                .collect(),
             mode => {
                 let t = Instant::now();
                 self.extract_and_embed();
@@ -297,8 +533,35 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
                 self.emit(mode)
             }
         };
+        self.enforce_retention();
         self.timings.global += t0.elapsed();
         out
+    }
+
+    /// Evicts the oldest tweets (and their cache entries) until the
+    /// configured [`RetentionPolicy`] is satisfied. Invariant: eviction
+    /// never crosses the scan watermark — a tweet that the incremental
+    /// mention scan has not covered yet is never dropped, which is what
+    /// keeps bounded-state finalize output identical for all tweets at
+    /// or beyond the watermark.
+    fn enforce_retention(&mut self) {
+        let over = |tweets: &TweetBase| match self.cfg.retention {
+            RetentionPolicy::Unbounded => false,
+            RetentionPolicy::MaxTweets(n) => tweets.retained() > n,
+            RetentionPolicy::MaxBytes(b) => tweets.retained_bytes() > b,
+        };
+        let mut evicted = false;
+        while over(&self.tweets) && self.tweets.first_retained() < self.scanned_tweets {
+            self.tweets.evict_front();
+            evicted = true;
+        }
+        if evicted {
+            // Cache entries of evicted tweets can never be consulted
+            // again (rescans start at `first_retained` at the
+            // earliest), so the cache shrinks with the store.
+            let keep_from = self.tweets.first_retained();
+            self.mention_cache.retain(|&(t, _, _), _| t >= keep_from);
+        }
     }
 
     /// Stage (i)+(ii): CTrie scan plus phrase embedding of every
@@ -310,13 +573,30 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     /// span embedding. Tweets are scanned and embedded in parallel;
     /// candidate insertion stays sequential in tweet order so the store
     /// is identical to a sequential full rebuild.
+    ///
+    /// Under a bounded [`RetentionPolicy`] the version-bump rebuild can
+    /// only rescan *retained* tweets: mentions of evicted tweets are
+    /// kept frozen at the boundaries they were extracted with (their
+    /// source records are gone), while everything from
+    /// `TweetBase::first_retained` on is rebuilt against the new trie.
+    ///
+    /// Scan tasks are panic-isolated: a poison record degrades to a
+    /// tweet with no extracted mentions, reported through
+    /// [`Self::take_finalize_errors`].
     fn extract_and_embed(&mut self) {
         let version = self.ctrie.version();
         let start = if version == self.scanned_version {
             self.scanned_tweets
         } else {
-            self.candidates = CandidateBase::new();
-            0
+            let keep_from = self.tweets.first_retained();
+            if keep_from == 0 {
+                self.candidates = CandidateBase::new();
+            } else {
+                // Freeze the evicted prefix, rebuild the retained
+                // suffix (marks every entry dirty).
+                self.candidates.truncate_mentions_from_tweet(keep_from);
+            }
+            keep_from
         };
         let n = self.tweets.len();
         if start < n {
@@ -325,8 +605,10 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
             let tweets = &self.tweets;
             let cache = &self.mention_cache;
             let max_len = self.cfg.max_mention_len;
-            let per_tweet: Vec<Vec<(String, MentionRecord)>> =
-                self.exec.par_map((start..n).collect::<Vec<usize>>(), |_, ti| {
+            let per_tweet = self.exec.try_par_map_described(
+                (start..n).collect::<Vec<usize>>(),
+                |&ti| format!("tweet #{ti}"),
+                |_, ti| {
                     let record = tweets.get(ti);
                     ctrie
                         .extract_mentions(&record.tokens, max_len)
@@ -356,14 +638,24 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
                                 },
                             )
                         })
-                        .collect()
-                });
-            for tweet_mentions in per_tweet {
-                for (surface, record) in tweet_mentions {
-                    self.mention_cache
-                        .entry((record.tweet, record.start, record.end))
-                        .or_insert_with(|| record.local_emb.clone());
-                    self.candidates.add_mention(&surface, record);
+                        .collect::<Vec<(String, MentionRecord)>>()
+                },
+            );
+            for (k, result) in per_tweet.into_iter().enumerate() {
+                match result {
+                    Ok(tweet_mentions) => {
+                        for (surface, record) in tweet_mentions {
+                            self.mention_cache
+                                .entry((record.tweet, record.start, record.end))
+                                .or_insert_with(|| record.local_emb.clone());
+                            self.candidates.add_mention(&surface, record);
+                        }
+                    }
+                    // The executor reports the task's position in the
+                    // scan range; surface the tweet index instead. The
+                    // tweet keeps its record but contributes no
+                    // mentions this scan.
+                    Err(e) => self.finalize_errors.push(TaskError { index: start + k, ..e }),
                 }
             }
         }
@@ -375,12 +667,21 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     /// clusters, fanning out per surface (each surface's clustering is
     /// independent). The ablation variants below full-global use one
     /// cluster per surface (no ambiguity resolution).
+    /// Surfaces whose mention set is unchanged since the last finalize
+    /// are skipped — their clusters are a pure function of the mention
+    /// set, so the previous result is still exact (the
+    /// `SurfaceEntry::clustered` bookkeeping).
     fn cluster_candidates(&mut self, mode: AblationMode) {
         let threshold = self.cfg.cluster_threshold;
-        let entries: Vec<&mut SurfaceEntry> =
-            self.candidates.iter_mut().map(|(_, e)| e).collect();
+        let entries: Vec<&mut SurfaceEntry> = self
+            .candidates
+            .iter_mut()
+            .map(|(_, e)| e)
+            .filter(|e| e.needs_recluster())
+            .collect();
         self.exec.par_map(entries, |_, entry| {
             cluster_surface(entry, mode, threshold);
+            entry.clustered = entry.mentions.len();
         });
     }
 
@@ -388,13 +689,20 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     /// per surface (each surface's matmuls are independent). In
     /// [`AblationMode::MentionExtraction`] the "classification" is the
     /// majority local type instead.
+    /// Same skip rule as [`Self::cluster_candidates`], tracked by
+    /// `SurfaceEntry::classified`.
     fn classify_candidates(&mut self, mode: AblationMode) {
         let classifier = &self.classifier;
         let min_confidence = self.cfg.min_confidence;
-        let entries: Vec<&mut SurfaceEntry> =
-            self.candidates.iter_mut().map(|(_, e)| e).collect();
+        let entries: Vec<&mut SurfaceEntry> = self
+            .candidates
+            .iter_mut()
+            .map(|(_, e)| e)
+            .filter(|e| e.needs_reclassify())
+            .collect();
         self.exec.par_map(entries, |_, entry| {
             classify_surface(entry, mode, classifier, min_confidence);
+            entry.classified = entry.mentions.len();
         });
     }
 
@@ -434,9 +742,16 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     }
 
     /// Local NER outputs of every stored tweet (for ablations and the
-    /// Table IV "Local NER" columns).
+    /// Table IV "Local NER" columns). Evicted tweets yield empty rows.
     pub fn local_outputs(&self) -> Vec<Vec<Span>> {
-        self.tweets.iter().map(|t| t.local_spans.clone()).collect()
+        (0..self.tweets.len())
+            .map(|i| {
+                self.tweets
+                    .try_get(i)
+                    .map(|t| t.local_spans.clone())
+                    .unwrap_or_default()
+            })
+            .collect()
     }
 
     /// Accumulated per-stage wall-clock.
@@ -459,7 +774,9 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     /// scan watermark — forcing the next [`Self::finalize`] to rebuild
     /// and re-embed everything from scratch. Benchmarking hook for
     /// comparing incremental against full-rebuild finalization; output
-    /// is unaffected (both paths are byte-identical).
+    /// is unaffected (both paths are byte-identical) as long as nothing
+    /// has been evicted — evicted tweets cannot be rescanned, so their
+    /// frozen mentions are lost by this reset.
     pub fn reset_incremental_state(&mut self) {
         self.mention_cache.clear();
         self.scanned_tweets = 0;
@@ -481,6 +798,91 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     pub fn local_tagger(&self) -> &T {
         &self.local
     }
+
+    /// How many stream positions the incremental mention scan has
+    /// covered — the eviction watermark: retention never drops a tweet
+    /// at or beyond this index.
+    pub fn scan_watermark(&self) -> usize {
+        self.scanned_tweets
+    }
+
+    /// Drains the task errors collected by fault-isolated finalize
+    /// scans since the last drain (empty on a clean stream).
+    pub fn take_finalize_errors(&mut self) -> Vec<TaskError> {
+        std::mem::take(&mut self.finalize_errors)
+    }
+
+    /// Snapshots the pipeline's stream state — CTrie, tweet store,
+    /// candidate store (with per-surface progress counts), scan
+    /// watermark + version, mention cache and consumed ids — for
+    /// inclusion in a crash-consistent `GlobalizerBundle` v2. The
+    /// model components travel separately in the bundle.
+    pub fn export_state(&self) -> PipelineCheckpoint {
+        PipelineCheckpoint {
+            cfg: self.cfg,
+            ctrie: self.ctrie.clone(),
+            tweets: self.tweets.clone(),
+            candidates: self.candidates.clone(),
+            scanned_tweets: self.scanned_tweets,
+            scanned_version: self.scanned_version,
+            mention_cache: self.mention_cache.clone(),
+            seen_ids: self.seen_ids.clone(),
+        }
+    }
+
+    /// Restores stream state captured by [`Self::export_state`],
+    /// replacing this pipeline's stores, watermark and caches. The
+    /// restored pipeline continues the stream exactly where the
+    /// snapshot left off: feeding it the remaining input yields
+    /// bitwise-identical finalize output to a never-interrupted run.
+    pub fn import_state(&mut self, ck: PipelineCheckpoint) -> Result<(), PersistError> {
+        if ck.scanned_tweets > ck.tweets.len() {
+            return Err(PersistError::Inconsistent("watermark beyond tweet store"));
+        }
+        if ck.tweets.first_retained() > ck.scanned_tweets {
+            return Err(PersistError::Inconsistent("eviction crossed the watermark"));
+        }
+        if ck.scanned_version > ck.ctrie.version() {
+            return Err(PersistError::Inconsistent("scan version beyond trie version"));
+        }
+        let dim = self.phrase.dim();
+        if ck.mention_cache.values().any(|v| v.len() != dim) {
+            return Err(PersistError::Inconsistent("cached embedding dim mismatch"));
+        }
+        self.cfg = ck.cfg;
+        self.ctrie = ck.ctrie;
+        self.tweets = ck.tweets;
+        self.candidates = ck.candidates;
+        self.scanned_tweets = ck.scanned_tweets;
+        self.scanned_version = ck.scanned_version;
+        self.mention_cache = ck.mention_cache;
+        self.seen_ids = ck.seen_ids;
+        self.finalize_errors.clear();
+        Ok(())
+    }
+}
+
+/// Char-boundary-safe prefix of `s` with at most `max_chars` chars.
+fn clip(s: &str, max_chars: usize) -> &str {
+    match s.char_indices().nth(max_chars) {
+        Some((byte, _)) => &s[..byte],
+        None => s,
+    }
+}
+
+/// Short human-readable summary of a token list for [`TaskError`]
+/// payloads (bounded regardless of input size).
+fn summarize_tokens(tokens: &[String]) -> String {
+    let mut out = format!("{} tokens", tokens.len());
+    if !tokens.is_empty() {
+        out.push_str(": ");
+        let head: Vec<&str> = tokens.iter().take(4).map(|t| clip(t, 16)).collect();
+        out.push_str(&head.join(" "));
+        if tokens.len() > 4 {
+            out.push_str(" …");
+        }
+    }
+    out
 }
 
 /// Clusters one surface's mentions in place (stage iii for a single
@@ -747,7 +1149,7 @@ mod tests {
 
     /// Flattens the candidate store into an exactly comparable
     /// fingerprint (f32s by bit pattern).
-    fn fingerprint(p: &NerGlobalizer<FakeTagger>) -> Vec<(String, Vec<u64>, Vec<u32>)> {
+    fn fingerprint<T: ContextualTagger>(p: &NerGlobalizer<T>) -> Vec<(String, Vec<u64>, Vec<u32>)> {
         p.candidate_base()
             .iter()
             .map(|(surface, e)| {
@@ -865,6 +1267,338 @@ mod tests {
             assert_eq!(seq.finalize(), par.finalize(), "{mode:?}");
             assert_eq!(fingerprint(&seq), fingerprint(&par), "{mode:?}");
         }
+    }
+
+    /// [`FakeTagger`] wrapped with fault sentinels: a tweet containing
+    /// [`ngl_runtime::faults::PANIC_TOKEN`] panics the encode task, one
+    /// containing [`ngl_runtime::faults::NAN_TOKEN`] produces NaN
+    /// embeddings.
+    struct FaultyTagger {
+        inner: FakeTagger,
+    }
+
+    impl SequenceTagger for FaultyTagger {
+        fn tag(&self, tokens: &[String]) -> Vec<BioTag> {
+            self.inner.tag(tokens)
+        }
+    }
+
+    impl ContextualTagger for FaultyTagger {
+        fn dim(&self) -> usize {
+            self.inner.dim()
+        }
+
+        fn encode(&self, tokens: &[String]) -> SentenceEncoding {
+            if tokens.iter().any(|t| t == ngl_runtime::faults::PANIC_TOKEN) {
+                panic!("poison tweet");
+            }
+            let mut enc = self.inner.encode(tokens);
+            if tokens.iter().any(|t| t == ngl_runtime::faults::NAN_TOKEN) {
+                enc.embeddings.row_mut(0)[0] = f32::NAN;
+            }
+            enc
+        }
+    }
+
+    fn faulty_pipeline(mode: AblationMode) -> NerGlobalizer<FaultyTagger> {
+        let dim = 8;
+        NerGlobalizer::new(
+            FaultyTagger { inner: FakeTagger { dim } },
+            PhraseEmbedder::new(PhraseEmbedderConfig { dim, ..Default::default() }),
+            EntityClassifier::new(ClassifierConfig { dim, ..Default::default() }),
+            GlobalizerConfig { ablation: mode, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn rejected_tweets_leave_no_trace() {
+        for threads in [1, 4] {
+            let exec = ngl_runtime::Executor::new(threads);
+            let mut faulty =
+                faulty_pipeline(AblationMode::FullGlobal).with_executor(exec.clone());
+            let batch = vec![
+                toks("Beshear spoke today"),
+                vec!["oh".into(), ngl_runtime::faults::PANIC_TOKEN.into()],
+                toks("thanks beshear again"),
+                vec!["bad".into(), ngl_runtime::faults::NAN_TOKEN.into()],
+                toks("Italy won"),
+            ];
+            let (out, report) = faulty.try_process_batch_owned(batch);
+            assert_eq!(report.ok, vec![0, 2, 4]);
+            assert_eq!(report.rejected, vec![1, 3]);
+            assert_eq!(report.errors.len(), 2);
+            assert_eq!(report.errors[0].index, 1);
+            assert_eq!(report.errors[0].message, "poison tweet");
+            assert!(report.errors[0].payload.contains("input #1"));
+            assert_eq!(report.errors[1].index, 3);
+            assert_eq!(report.errors[1].message, "non-finite embeddings rejected");
+            assert_eq!(out.local_spans.len(), 3, "spans only for accepted tweets");
+            faulty.finalize();
+            assert!(faulty.take_finalize_errors().is_empty());
+
+            // The state is exactly a clean run over the survivors.
+            let mut clean =
+                faulty_pipeline(AblationMode::FullGlobal).with_executor(exec.clone());
+            clean.process_batch(&[
+                toks("Beshear spoke today"),
+                toks("thanks beshear again"),
+                toks("Italy won"),
+            ]);
+            clean.finalize();
+            assert_eq!(faulty.tweet_base().len(), clean.tweet_base().len());
+            assert_eq!(fingerprint(&faulty), fingerprint(&clean));
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected_across_batches() {
+        let mut p = pipeline(AblationMode::FullGlobal);
+        let (_, r1) =
+            p.try_process_batch_with_ids(vec![(10, toks("Beshear spoke")), (11, toks("a b"))]);
+        assert!(r1.all_ok());
+        let (_, r2) =
+            p.try_process_batch_with_ids(vec![(11, toks("again a b")), (12, toks("c d"))]);
+        assert_eq!(r2.rejected, vec![0]);
+        assert!(r2.errors[0].message.contains("duplicate tweet id 11"));
+        assert_eq!(p.tweet_base().len(), 3);
+        // A batch-internal duplicate is caught too.
+        let (_, r3) =
+            p.try_process_batch_with_ids(vec![(20, toks("x y")), (20, toks("x y again"))]);
+        assert_eq!(r3.rejected, vec![1]);
+    }
+
+    #[test]
+    fn empty_tweets_rejected_only_when_configured() {
+        let mut lax = pipeline(AblationMode::FullGlobal);
+        let (_, r) = lax.try_process_batch_owned(vec![vec![], toks("Beshear spoke")]);
+        assert!(r.all_ok(), "empty tweets stored by default");
+        assert_eq!(lax.tweet_base().len(), 2);
+
+        let dim = 8;
+        let mut strict = NerGlobalizer::new(
+            FakeTagger { dim },
+            PhraseEmbedder::new(PhraseEmbedderConfig { dim, ..Default::default() }),
+            EntityClassifier::new(ClassifierConfig { dim, ..Default::default() }),
+            GlobalizerConfig { reject_empty: true, ..Default::default() },
+        );
+        let (_, r) = strict.try_process_batch_owned(vec![vec![], toks("Beshear spoke")]);
+        assert_eq!(r.rejected, vec![0]);
+        assert!(r.errors[0].message.contains("empty"));
+        assert_eq!(strict.tweet_base().len(), 1);
+    }
+
+    #[test]
+    fn oversized_tweets_are_truncated_on_ingest() {
+        let dim = 8;
+        let mut p = NerGlobalizer::new(
+            FakeTagger { dim },
+            PhraseEmbedder::new(PhraseEmbedderConfig { dim, ..Default::default() }),
+            EntityClassifier::new(ClassifierConfig { dim, ..Default::default() }),
+            GlobalizerConfig { max_tweet_tokens: 6, ..Default::default() },
+        );
+        let long: Vec<String> = (0..50).map(|i| format!("w{i}")).collect();
+        let (_, r) = p.try_process_batch_owned(vec![long, toks("short one")]);
+        assert_eq!(r.truncated, vec![0]);
+        assert_eq!(r.ok, vec![0, 1]);
+        let rec = p.tweet_base().get(0);
+        assert_eq!(rec.tokens.len(), 6);
+        assert_eq!(rec.embeddings.rows(), 6, "stored tokens and embeddings agree");
+    }
+
+    #[test]
+    fn eviction_never_crosses_the_watermark() {
+        let dim = 8;
+        let mut p = NerGlobalizer::new(
+            FakeTagger { dim },
+            PhraseEmbedder::new(PhraseEmbedderConfig { dim, ..Default::default() }),
+            EntityClassifier::new(ClassifierConfig { dim, ..Default::default() }),
+            GlobalizerConfig {
+                retention: RetentionPolicy::MaxTweets(2),
+                ..Default::default()
+            },
+        );
+        // Unfinalized tweets are beyond the watermark: nothing may be
+        // evicted no matter how far over budget the store is.
+        for i in 0..5 {
+            p.process_batch(&[toks(&format!("Surface{i} here"))]);
+        }
+        assert_eq!(p.scan_watermark(), 0);
+        assert_eq!(p.tweet_base().retained(), 5);
+        p.finalize();
+        // Now the scan has covered everything; retention kicks in but
+        // the invariant keeps holding.
+        assert_eq!(p.tweet_base().retained(), 2);
+        assert!(p.tweet_base().first_retained() <= p.scan_watermark());
+        // More stream keeps the invariant.
+        p.process_batch(&[toks("more Surface0 talk"), toks("and Surface1 too")]);
+        p.finalize();
+        assert!(p.tweet_base().first_retained() <= p.scan_watermark());
+        assert_eq!(p.tweet_base().retained(), 2);
+    }
+
+    /// With a version-stable continuation (no new surfaces after the
+    /// eviction point) the bounded pipeline's finalize output is
+    /// bitwise identical to the unbounded one — for every tweet,
+    /// evicted ones included (their mentions are frozen).
+    #[test]
+    fn max_tweets_eviction_preserves_outputs() {
+        let dim = 8;
+        let mk = |retention| {
+            NerGlobalizer::new(
+                FakeTagger { dim },
+                PhraseEmbedder::new(PhraseEmbedderConfig { dim, ..Default::default() }),
+                EntityClassifier::new(ClassifierConfig { dim, ..Default::default() }),
+                GlobalizerConfig { retention, ..Default::default() },
+            )
+        };
+        let mut bounded = mk(RetentionPolicy::MaxTweets(2));
+        let mut unbounded = mk(RetentionPolicy::Unbounded);
+        // Phase 1 seeds all surfaces.
+        let seed_batch = vec![
+            toks("Beshear spoke today"),
+            toks("Italy won again"),
+            toks("thanks beshear for italy"),
+        ];
+        // Phase 2 (after eviction) only re-uses known surfaces.
+        let stable_batches = vec![
+            vec![toks("more beshear talk"), toks("italy italy italy")],
+            vec![toks("beshear and italy together")],
+        ];
+        bounded.process_batch(&seed_batch);
+        unbounded.process_batch(&seed_batch);
+        assert_eq!(bounded.finalize(), unbounded.finalize());
+        assert!(bounded.tweet_base().retained() <= 2);
+        for b in &stable_batches {
+            bounded.process_batch(b);
+            unbounded.process_batch(b);
+            let out_b = bounded.finalize();
+            let out_u = unbounded.finalize();
+            assert_eq!(out_b, out_u, "bounded output diverged");
+            assert_eq!(fingerprint(&bounded), fingerprint(&unbounded));
+            assert!(bounded.tweet_base().retained() <= 2);
+        }
+        assert_eq!(unbounded.tweet_base().retained(), unbounded.tweet_base().len());
+    }
+
+    /// Same scenario under a byte budget.
+    #[test]
+    fn max_bytes_eviction_preserves_outputs() {
+        let dim = 8;
+        let mk = |retention| {
+            NerGlobalizer::new(
+                FakeTagger { dim },
+                PhraseEmbedder::new(PhraseEmbedderConfig { dim, ..Default::default() }),
+                EntityClassifier::new(ClassifierConfig { dim, ..Default::default() }),
+                GlobalizerConfig { retention, ..Default::default() },
+            )
+        };
+        let mut bounded = mk(RetentionPolicy::MaxBytes(600));
+        let mut unbounded = mk(RetentionPolicy::Unbounded);
+        let batches = vec![
+            vec![toks("Beshear spoke today"), toks("Italy won")],
+            vec![toks("more beshear and italy")],
+            vec![toks("italy beshear italy")],
+        ];
+        for b in &batches {
+            bounded.process_batch(b);
+            unbounded.process_batch(b);
+        }
+        assert_eq!(bounded.finalize(), unbounded.finalize());
+        assert!(bounded.tweet_base().retained_bytes() <= 600);
+        assert!(
+            bounded.tweet_base().first_retained() > 0,
+            "budget small enough that eviction actually ran"
+        );
+        // Continuation with known surfaces stays identical.
+        bounded.process_batch(&[toks("beshear again")]);
+        unbounded.process_batch(&[toks("beshear again")]);
+        assert_eq!(bounded.finalize(), unbounded.finalize());
+    }
+
+    #[test]
+    fn unchanged_surfaces_are_skipped_by_finalize() {
+        let mut p = pipeline(AblationMode::FullGlobal);
+        p.process_batch(&[toks("Beshear spoke today"), toks("Italy won")]);
+        p.finalize();
+        for (_, e) in p.candidate_base().iter() {
+            assert_eq!(e.clustered, e.mentions.len());
+            assert_eq!(e.classified, e.mentions.len());
+        }
+        // A batch touching only "beshear" (known surface, no version
+        // bump) leaves "italy" untouched and skippable.
+        p.process_batch(&[toks("more beshear talk")]);
+        let fp_before_italy = {
+            let e = p.candidate_base().get("italy").expect("entry");
+            (e.mentions.len(), e.clusters.len())
+        };
+        p.finalize();
+        let italy = p.candidate_base().get("italy").expect("entry");
+        assert_eq!((italy.mentions.len(), italy.clusters.len()), fp_before_italy);
+        assert!(!italy.needs_recluster());
+        let beshear = p.candidate_base().get("beshear").expect("entry");
+        assert_eq!(beshear.clustered, beshear.mentions.len());
+    }
+
+    #[test]
+    fn export_import_resumes_exactly() {
+        let batches = [
+            vec![toks("Beshear spoke today"), toks("saw beshear downtown")],
+            vec![toks("Italy won again"), toks("thanks beshear for italy")],
+            vec![toks("more beshear and Italy talk")],
+        ];
+        for mode in [AblationMode::MentionExtraction, AblationMode::FullGlobal] {
+            // Uninterrupted reference run.
+            let mut reference = pipeline(mode);
+            for b in &batches {
+                reference.process_batch(b);
+                reference.finalize();
+            }
+            // Interrupted run: snapshot after batch 1, restore into a
+            // fresh pipeline (same trained models), continue.
+            let mut first = pipeline(mode);
+            first.process_batch(&batches[0]);
+            first.finalize();
+            let snapshot = first.export_state();
+            drop(first);
+            let mut resumed = pipeline(mode);
+            resumed.import_state(snapshot).expect("import");
+            let mut last = Vec::new();
+            for b in &batches[1..] {
+                resumed.process_batch(b);
+                last = resumed.finalize();
+            }
+            let mut ref_last = Vec::new();
+            {
+                let mut r2 = pipeline(mode);
+                for b in &batches {
+                    r2.process_batch(b);
+                    ref_last = r2.finalize();
+                }
+            }
+            assert_eq!(last, ref_last, "resumed output diverges in {mode:?}");
+            assert_eq!(
+                fingerprint(&resumed),
+                fingerprint(&reference),
+                "resumed state diverges in {mode:?}"
+            );
+            assert_eq!(resumed.cached_mentions(), reference.cached_mentions());
+            assert_eq!(resumed.scan_watermark(), reference.scan_watermark());
+        }
+    }
+
+    #[test]
+    fn import_rejects_inconsistent_checkpoints() {
+        let mut p = pipeline(AblationMode::FullGlobal);
+        p.process_batch(&[toks("Beshear spoke")]);
+        p.finalize();
+        let mut ck = p.export_state();
+        ck.scanned_tweets = 99;
+        let mut q = pipeline(AblationMode::FullGlobal);
+        assert!(matches!(q.import_state(ck), Err(PersistError::Inconsistent(_))));
+
+        let mut ck = p.export_state();
+        ck.mention_cache.insert((0, 0, 1), vec![1.0; 3]); // wrong dim
+        assert!(matches!(q.import_state(ck), Err(PersistError::Inconsistent(_))));
     }
 
     #[test]

@@ -228,6 +228,26 @@ mod tests {
     }
 
     #[test]
+    fn version_equals_len_always() {
+        // `version` and `len` bump together (exactly once per new
+        // surface) and never decrease, so they are permanently equal.
+        // Checkpoint serialization relies on this: a trie is persisted
+        // as its surface list, and re-inserting the surfaces must land
+        // back on the recorded version.
+        let mut t = CTrie::new();
+        assert_eq!(t.version(), t.len() as u64);
+        for s in ["andy beshear", "Andy Beshear", "italy", "#Italy", "new york", "italy"] {
+            let toks: Vec<&str> = s.split(' ').collect();
+            t.insert(&toks);
+            assert_eq!(t.version(), t.len() as u64);
+        }
+        // Rebuilding from the surface list reproduces the version.
+        let rebuilt = trie(&t.surfaces().iter().map(String::as_str).collect::<Vec<_>>());
+        assert_eq!(rebuilt.version(), t.version());
+        assert_eq!(rebuilt.surfaces(), t.surfaces());
+    }
+
+    #[test]
     fn version_bumps_only_on_new_surfaces() {
         let mut t = CTrie::new();
         assert_eq!(t.version(), 0);

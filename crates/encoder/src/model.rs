@@ -431,6 +431,25 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_tokens_never_panic() {
+        let enc = TokenEncoder::new(small_cfg());
+        // Empty-string and all-whitespace tokens (a broken upstream
+        // tokenizer) must still produce one finite row per token.
+        let weird = toks(&["", "   ", "\t", "ok"]);
+        let out = enc.encode_sentence(&weird);
+        assert_eq!(out.embeddings.rows(), 4);
+        assert_eq!(out.tags.len(), 4);
+        assert!(out.embeddings.as_slice().iter().all(|v| v.is_finite()));
+
+        // A single absurdly long token (oversized-tweet fault) encodes
+        // in bounded shape without panicking.
+        let giant = vec!["x".repeat(50_000)];
+        let out = enc.encode_sentence(&giant);
+        assert_eq!(out.embeddings.rows(), 1);
+        assert!(out.embeddings.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
     fn embeddings_depend_on_context() {
         let enc = TokenEncoder::new(small_cfg());
         let a = enc.encode_sentence(&toks(&["in", "washington", "today"]));

@@ -1,0 +1,202 @@
+//! Deterministic, seedable fault-injection planning for stress-testing
+//! pipelines built on the executor.
+//!
+//! A [`FaultPlan`] is a pure value — a map from input index to
+//! [`FaultKind`] — constructed either explicitly or from a seed. It is
+//! passed *into* the code under test (no globals, no clocks), so a
+//! faulty run is exactly reproducible across reruns and across worker
+//! counts. The harness that owns the input stream decides how each
+//! kind manifests (e.g. replacing a token with [`PANIC_TOKEN`] so a
+//! test tagger panics, or with [`NAN_TOKEN`] so it emits non-finite
+//! embeddings); this module only decides *where* faults land.
+
+use std::collections::BTreeMap;
+
+/// Sentinel token a harness can splice into a tweet so that a
+/// fault-aware tagger panics on it (simulating a poison input that
+/// crashes the local encoder).
+pub const PANIC_TOKEN: &str = "__ngl_fault_panic__";
+
+/// Sentinel token a harness can splice into a tweet so that a
+/// fault-aware tagger emits NaN/Inf embeddings for it.
+pub const NAN_TOKEN: &str = "__ngl_fault_nan__";
+
+/// The kinds of stream-level faults the harness knows how to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// The encoding task for this tweet panics ([`PANIC_TOKEN`]).
+    TaskPanic,
+    /// The encoder emits non-finite embeddings for this tweet
+    /// ([`NAN_TOKEN`]).
+    NanEmbedding,
+    /// The tweet arrives with no tokens at all.
+    EmptyTweet,
+    /// The tweet arrives with an absurdly long token list.
+    OversizeTweet,
+    /// The tweet re-uses an already-seen tweet id.
+    DuplicateId,
+}
+
+impl FaultKind {
+    /// Every kind, in a fixed order (used by seeded plan generation).
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::TaskPanic,
+        FaultKind::NanEmbedding,
+        FaultKind::EmptyTweet,
+        FaultKind::OversizeTweet,
+        FaultKind::DuplicateId,
+    ];
+}
+
+/// A deterministic assignment of faults to input indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: BTreeMap<usize, FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion of one fault at `index` (replacing any
+    /// fault already planned there).
+    pub fn with_fault(mut self, index: usize, kind: FaultKind) -> Self {
+        self.faults.insert(index, kind);
+        self
+    }
+
+    /// A pseudo-random plan over `n_items` inputs with (up to)
+    /// `n_faults` distinct faulty indices, fully determined by `seed`.
+    /// At most one fault lands on any index; when `n_faults >=
+    /// n_items` every index becomes faulty.
+    pub fn seeded(seed: u64, n_items: usize, n_faults: usize) -> Self {
+        let mut plan = Self::new();
+        if n_items == 0 {
+            return plan;
+        }
+        let mut rng = SplitMix64::new(seed);
+        let target = n_faults.min(n_items);
+        while plan.faults.len() < target {
+            let index = (rng.next_u64() % n_items as u64) as usize;
+            let kind = FaultKind::ALL[(rng.next_u64() % FaultKind::ALL.len() as u64) as usize];
+            plan.faults.entry(index).or_insert(kind);
+        }
+        plan
+    }
+
+    /// The fault planned at `index`, if any.
+    pub fn fault_at(&self, index: usize) -> Option<FaultKind> {
+        self.faults.get(&index).copied()
+    }
+
+    /// All planned faults in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, FaultKind)> + '_ {
+        self.faults.iter().map(|(&i, &k)| (i, k))
+    }
+
+    /// Ascending indices of every planned fault of `kind`.
+    pub fn indices_of(&self, kind: FaultKind) -> Vec<usize> {
+        self.iter().filter(|&(_, k)| k == kind).map(|(i, _)| i).collect()
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// SplitMix64 — a tiny, high-quality, dependency-free PRNG. Public so
+/// that test harnesses can derive reproducible streams (inputs, split
+/// points, retention budgets) from a seed without pulling in an
+/// external crate.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator with the given seed; equal seeds produce equal
+    /// streams on every platform.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A pseudo-random value in `0..bound` (`bound` must be non-zero).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::seeded(42, 100, 10);
+        let b = FaultPlan::seeded(42, 100, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|(i, _)| i < 100));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::seeded(1, 1000, 20);
+        let b = FaultPlan::seeded(2, 1000, 20);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn seeded_plan_caps_at_item_count() {
+        let plan = FaultPlan::seeded(7, 3, 50);
+        assert_eq!(plan.len(), 3);
+        let empty = FaultPlan::seeded(7, 0, 50);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn explicit_plan_lookup_and_filtering() {
+        let plan = FaultPlan::new()
+            .with_fault(2, FaultKind::TaskPanic)
+            .with_fault(5, FaultKind::EmptyTweet)
+            .with_fault(9, FaultKind::TaskPanic);
+        assert_eq!(plan.fault_at(2), Some(FaultKind::TaskPanic));
+        assert_eq!(plan.fault_at(3), None);
+        assert_eq!(plan.indices_of(FaultKind::TaskPanic), vec![2, 9]);
+        assert_eq!(plan.indices_of(FaultKind::DuplicateId), Vec::<usize>::new());
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_varied() {
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        // Not all equal (sanity, not a statistical test).
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+        let mut c = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert!(c.next_below(7) < 7);
+        }
+    }
+}

@@ -25,10 +25,59 @@
 //! parallelism); `NGL_THREADS=1` is the exact sequential fallback.
 //!
 //! A scoped panic in any worker propagates to the caller once the scope
-//! joins, so failures are never silently swallowed.
+//! joins, so failures are never silently swallowed. For pipelines that
+//! must *survive* poison inputs instead, [`Executor::try_par_map`]
+//! isolates each task with [`std::panic::catch_unwind`] and turns a
+//! panicking task into a typed [`TaskError`] while every other task
+//! completes normally.
+//!
+//! The [`faults`] module provides a deterministic, seedable fault plan
+//! for stress-testing pipelines built on this executor.
 
+pub mod faults;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A task that panicked inside [`Executor::try_par_map`], captured as a
+/// value instead of tearing down the executor scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// Input-order index of the failed task.
+    pub index: usize,
+    /// Caller-provided summary of the input payload (empty when the
+    /// caller supplied none) — keeps diagnostics useful without
+    /// requiring `T: Debug` or holding the (possibly huge) payload.
+    pub payload: String,
+    /// The panic message, when the payload was a `&str` or `String`.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task #{} panicked: {}", self.index, self.message)?;
+        if !self.payload.is_empty() {
+            write!(f, " (payload: {})", self.payload)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Best-effort extraction of a human-readable message from a panic
+/// payload (`&str` and `String` cover `panic!`, `assert!`, `expect` and
+/// friends).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Environment variable controlling the default worker count.
 pub const THREADS_ENV: &str = "NGL_THREADS";
@@ -137,6 +186,101 @@ impl Executor {
             .collect()
     }
 
+    /// Panic-isolated variant of [`Self::par_map`]: each task runs
+    /// under [`std::panic::catch_unwind`], so a panicking `f` yields
+    /// `Err(TaskError)` for that slot while every other task completes
+    /// normally. Results are still assembled **in input order**, and
+    /// with one worker the execution is still the exact sequential
+    /// loop, so the determinism contract of `par_map` carries over
+    /// unchanged (including for which tasks fail).
+    ///
+    /// ```
+    /// use ngl_runtime::Executor;
+    ///
+    /// let out = Executor::new(4).try_par_map((0..4usize).collect(), |_, x| {
+    ///     if x == 2 { panic!("poison"); }
+    ///     x * 10
+    /// });
+    /// assert_eq!(out[0], Ok(0));
+    /// assert_eq!(out[3], Ok(30));
+    /// assert_eq!(out[2].as_ref().unwrap_err().message, "poison");
+    /// ```
+    pub fn try_par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<Result<R, TaskError>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.try_par_map_described(items, |_| String::new(), f)
+    }
+
+    /// [`Self::try_par_map`] with a payload summarizer: `describe` runs
+    /// on each item *before* the task body, and its output is attached
+    /// to the [`TaskError`] if that task panics. `describe` itself is
+    /// also panic-isolated (a panicking summarizer degrades to a
+    /// placeholder summary, never a lost task).
+    pub fn try_par_map_described<T, R, D, F>(
+        &self,
+        items: Vec<T>,
+        describe: D,
+        f: F,
+    ) -> Vec<Result<R, TaskError>>
+    where
+        T: Send,
+        R: Send,
+        D: Fn(&T) -> String + Sync,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let run = |i: usize, item: T| -> Result<R, TaskError> {
+            let payload = catch_unwind(AssertUnwindSafe(|| describe(&item)))
+                .unwrap_or_else(|_| "<payload summary unavailable>".to_string());
+            catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|p| TaskError {
+                index: i,
+                payload,
+                message: panic_message(p),
+            })
+        };
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.into_iter().enumerate().map(|(i, t)| run(i, t)).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<Result<R, TaskError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let run = &run;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("item slot poisoned")
+                        .take()
+                        .expect("item taken once");
+                    // `run` never unwinds (panics are caught inside),
+                    // so the worker loop survives poison items and the
+                    // result slot is always written.
+                    let r = run(i, item);
+                    *results[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("result written")
+            })
+            .collect()
+    }
+
     /// Borrowing convenience over [`Self::par_map`]: maps `f` over
     /// `&items[i]` without taking ownership.
     pub fn par_map_ref<'a, T, R, F>(&self, items: &'a [T], f: F) -> Vec<R>
@@ -145,7 +289,7 @@ impl Executor {
         R: Send,
         F: Fn(usize, &'a T) -> R + Sync,
     {
-        self.par_map(items.iter().collect(), |i, t| f(i, t))
+        self.par_map(items.iter().collect(), f)
     }
 
     /// Runs `f` over contiguous chunks of `items` (the last chunk may
@@ -259,6 +403,94 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn try_par_map_isolates_panics_per_task() {
+        for threads in [1, 4] {
+            let out = Executor::new(threads).try_par_map((0..64usize).collect(), |_, x| {
+                if x % 13 == 0 {
+                    panic!("poison {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), 64);
+            for (i, r) in out.iter().enumerate() {
+                if i % 13 == 0 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, i);
+                    assert_eq!(e.message, format!("poison {i}"));
+                } else {
+                    assert_eq!(*r, Ok(i * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_par_map_matches_sequential_exactly() {
+        let f = |_: usize, x: usize| {
+            if x == 7 || x == 21 {
+                panic!("bad item");
+            }
+            x + 1
+        };
+        let seq = Executor::sequential().try_par_map((0..40usize).collect(), f);
+        let par = Executor::new(4).try_par_map((0..40usize).collect(), f);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn try_par_map_described_attaches_payload_summary() {
+        let items: Vec<String> = vec!["ok".into(), "explode".into(), "fine".into()];
+        let out = Executor::new(2).try_par_map_described(
+            items,
+            |s: &String| format!("tweet[{s}]"),
+            |_, s| {
+                if s == "explode" {
+                    panic!("kaboom");
+                }
+                s.len()
+            },
+        );
+        assert_eq!(out[0], Ok(2));
+        assert_eq!(out[2], Ok(4));
+        let e = out[1].as_ref().unwrap_err();
+        assert_eq!(e.payload, "tweet[explode]");
+        assert_eq!(e.message, "kaboom");
+        assert!(e.to_string().contains("task #1"));
+        assert!(e.to_string().contains("tweet[explode]"));
+    }
+
+    #[test]
+    fn try_par_map_survives_panicking_describe() {
+        let out = Executor::new(2).try_par_map_described(
+            vec![1usize, 2, 3],
+            |x: &usize| {
+                if *x == 2 {
+                    panic!("describe bad");
+                }
+                x.to_string()
+            },
+            |_, x| {
+                if x == 2 {
+                    panic!("task bad");
+                }
+                x
+            },
+        );
+        assert_eq!(out[0], Ok(1));
+        assert_eq!(out[2], Ok(3));
+        let e = out[1].as_ref().unwrap_err();
+        assert_eq!(e.payload, "<payload summary unavailable>");
+        assert_eq!(e.message, "task bad");
+    }
+
+    #[test]
+    fn try_par_map_all_ok_round_trips() {
+        let out = Executor::new(3).try_par_map((0..50usize).collect(), |_, x| x * x);
+        let vals: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(vals, (0..50usize).map(|x| x * x).collect::<Vec<_>>());
     }
 
     #[test]

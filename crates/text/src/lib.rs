@@ -25,6 +25,6 @@ pub use bio::{decode_bio, encode_bio, BioTag};
 pub use span::Span;
 pub use token::{
     is_stopword_surface, normalize_surface, normalize_tokens, tokenize, Token, TokenKind,
-    STOPWORDS,
+    MAX_TWEET_CHARS, STOPWORDS,
 };
 pub use types::EntityType;

@@ -70,7 +70,14 @@ const EMOTICONS: &[&str] = &[
 /// 4. Number runs (digits with internal `.`/`,`/`:` separators).
 /// 5. Word runs (alphabetic plus internal apostrophes: "don't").
 /// 6. Anything else becomes punctuation runs of identical characters.
+///
+/// Input beyond [`MAX_TWEET_CHARS`] characters is ignored (real tweets
+/// are ≤ 280 chars; anything past the cap is adversarial or corrupt),
+/// so degenerate multi-megabyte lines cost bounded work and can never
+/// blow up downstream encoders. Empty and all-whitespace input yields
+/// an empty token list.
 pub fn tokenize(text: &str) -> Vec<Token> {
+    let text = truncate_chars(text, MAX_TWEET_CHARS);
     let bytes: Vec<char> = text.chars().collect();
     // Byte offset of each char for reporting spans in bytes.
     let mut byte_of = Vec::with_capacity(bytes.len() + 1);
@@ -159,6 +166,21 @@ pub fn tokenize(text: &str) -> Vec<Token> {
         tokens.push(make(text, &byte_of, start, i, TokenKind::Punct));
     }
     tokens
+}
+
+/// Hard cap on the characters [`tokenize`] will look at — the
+/// robustness budget for a single stream record. Twitter caps tweets
+/// at 280 characters, so 10k leaves ample headroom for legitimate
+/// long-form input while bounding adversarial lines.
+pub const MAX_TWEET_CHARS: usize = 10_000;
+
+/// `text` truncated to at most `max` characters, respecting UTF-8
+/// boundaries (never panics mid-codepoint).
+fn truncate_chars(text: &str, max: usize) -> &str {
+    match text.char_indices().nth(max) {
+        Some((byte, _)) => &text[..byte],
+        None => text,
+    }
 }
 
 fn make(text: &str, byte_of: &[usize], start: usize, end: usize, kind: TokenKind) -> Token {
@@ -331,5 +353,43 @@ mod tests {
     fn standalone_hash_is_punct() {
         let t = tokenize("# alone");
         assert_eq!(t[0].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn all_whitespace_variants_give_no_tokens() {
+        assert!(tokenize(" ").is_empty());
+        assert!(tokenize("\u{a0}\u{2003}\u{2009}").is_empty());
+        assert!(tokenize(&" ".repeat(50_000)).is_empty());
+    }
+
+    #[test]
+    fn oversized_input_is_truncated_not_panicking() {
+        // One giant 25k-char "word" collapses to a single capped token.
+        let giant = "a".repeat(25_000);
+        let toks = tokenize(&giant);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text.chars().count(), MAX_TWEET_CHARS);
+
+        // Many short words: total characters consumed stays within the
+        // cap, and every produced token is intact.
+        let many = "word ".repeat(5_000); // 25k chars
+        let toks = tokenize(&many);
+        assert!(!toks.is_empty());
+        assert!(toks.len() <= MAX_TWEET_CHARS / 5 + 1);
+        let last = toks.last().unwrap();
+        assert!(last.start + last.text.len() <= MAX_TWEET_CHARS);
+        assert!(toks.iter().all(|t| t.text == "word"));
+    }
+
+    #[test]
+    fn truncation_respects_utf8_boundaries() {
+        // 2-byte codepoints: a byte-based cut at 10_000 would split one.
+        let giant = "é".repeat(20_000);
+        let toks = tokenize(&giant);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text.chars().count(), MAX_TWEET_CHARS);
+        // 4-byte codepoints too.
+        let emoji = "\u{1F600}".repeat(12_000);
+        let _ = tokenize(&emoji); // must not panic
     }
 }
