@@ -1,10 +1,12 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [--quick] [--seed N] [--timings-json PATH] [section ...]
+//! reproduce [--quick] [--seed N] [--timings-json PATH]
+//!           [--store-dir PATH] [--checkpoint-every N] [section ...]
 //! sections: table1 table2 table3 table4 table5 fig3 fig4
-//!           casestudy errors emd ablations; "all" (default) runs the
-//!           paper artifacts (ablations must be requested explicitly)
+//!           casestudy errors emd ablations store; "all" (default)
+//!           runs the paper artifacts (ablations must be requested
+//!           explicitly)
 //! ```
 //!
 //! `--timings-json` additionally writes the per-stage pipeline
@@ -12,6 +14,16 @@
 //! every eval dataset to the given path (conventionally
 //! `BENCH_pipeline.json`), forcing the pipeline runs even when no
 //! requested section needs them.
+//!
+//! The `store` section (also forced by `--store-dir` or
+//! `--timings-json`) streams the eval datasets through the durable
+//! store and prints a bench row comparing WAL delta bytes per batch
+//! against the full-snapshot size; with `--store-dir` the WAL,
+//! snapshots, and spill file land at the given path (so the store is
+//! exercisable end-to-end and inspectable with `ngl recover`),
+//! otherwise in a throwaway temp dir. `--checkpoint-every` sets the
+//! snapshot cadence (default 8 batches). Past ~1k streamed tweets the
+//! run *asserts* the delta stays below the snapshot size.
 
 use std::time::Instant;
 
@@ -19,7 +31,12 @@ use ngl_bench::{tables, Experiment, Scale};
 
 /// Hand-rolled JSON emission (the workspace deliberately has no JSON
 /// dependency); dataset names are alphanumeric, so no escaping needed.
-fn write_timings_json(path: &str, exp: &Experiment, runs: &tables::EvalRuns) {
+fn write_timings_json(
+    path: &str,
+    exp: &Experiment,
+    runs: &tables::EvalRuns,
+    store: Option<&tables::StoreBenchResult>,
+) {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"threads\": {},\n  \"datasets\": [\n",
@@ -39,7 +56,24 @@ fn write_timings_json(path: &str, exp: &Experiment, runs: &tables::EvalRuns) {
             if i + 1 == runs.full.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(s) = store {
+        out.push_str(&format!(
+            ",\n  \"store\": {{\"tweets\": {}, \"batches\": {}, \
+             \"delta_bytes_avg\": {:.1}, \"delta_bytes_last\": {}, \
+             \"snapshot_bytes_last\": {}, \"wal_bytes_total\": {}, \
+             \"snapshots\": {}, \"sublinear\": {}}}",
+            s.tweets,
+            s.batches,
+            s.delta_bytes_avg,
+            s.delta_bytes_last,
+            s.snapshot_bytes_last,
+            s.wal_bytes_total,
+            s.snapshots,
+            s.sublinear,
+        ));
+    }
+    out.push_str("\n}\n");
     if let Err(e) = std::fs::write(path, out) {
         eprintln!("[reproduce] failed to write {path}: {e}");
         std::process::exit(1);
@@ -51,15 +85,27 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Drain `--timings-json <path>` before the section filter below —
     // the path operand would otherwise be mistaken for a section name.
-    let timings_json = args.iter().position(|a| a == "--timings-json").map(|i| {
-        if i + 1 >= args.len() {
-            eprintln!("--timings-json requires a path (e.g. BENCH_pipeline.json)");
-            std::process::exit(2);
-        }
-        let path = args.remove(i + 1);
-        args.remove(i);
-        path
-    });
+    let mut drain_value = |flag: &str, hint: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            if i + 1 >= args.len() {
+                eprintln!("{flag} requires a value (e.g. {hint})");
+                std::process::exit(2);
+            }
+            let value = args.remove(i + 1);
+            args.remove(i);
+            value
+        })
+    };
+    let timings_json = drain_value("--timings-json", "BENCH_pipeline.json");
+    let store_dir = drain_value("--store-dir", "./ngl-store");
+    let checkpoint_every = drain_value("--checkpoint-every", "8")
+        .map(|v| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("--checkpoint-every must be a number, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(8);
     let quick = args.iter().any(|a| a == "--quick");
     let seed = args
         .iter()
@@ -77,7 +123,7 @@ fn main() {
     }
     const KNOWN: &[&str] = &[
         "all", "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "casestudy",
-        "errors", "emd", "ablations",
+        "errors", "emd", "ablations", "store",
     ];
     if let Some(bad) = sections.iter().find(|s| !KNOWN.contains(&s.as_str())) {
         eprintln!("unknown section {bad:?}; known sections: {}", KNOWN.join(" "));
@@ -158,8 +204,45 @@ fn main() {
         eprintln!("[reproduce] sweeping design-choice ablations...");
         println!("{}", tables::ablations(&exp));
     }
+    // `store` is off by default (like ablations); `--store-dir` or
+    // `--timings-json` also force it so the report always carries the
+    // delta-vs-snapshot row.
+    let run_store = sections.iter().any(|s| s == "store")
+        || store_dir.is_some()
+        || timings_json.is_some();
+    let store = if run_store {
+        eprintln!("[reproduce] streaming through the durable store...");
+        let dir = store_dir.clone().map(std::path::PathBuf::from).unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("ngl-store-bench-{}", std::process::id()))
+        });
+        let t = Instant::now();
+        match tables::store_bench(&exp, &dir, checkpoint_every) {
+            Ok(r) => {
+                eprintln!("[reproduce] store run done in {:.1}s", t.elapsed().as_secs_f64());
+                println!("{}", tables::store_table(&r));
+                if r.tweets >= 1000 && !r.sublinear {
+                    eprintln!(
+                        "[reproduce] FAIL: delta bytes/batch ({}) not below full snapshot \
+                         ({} B) after {} tweets — delta checkpointing is not sublinear",
+                        r.delta_bytes_last, r.snapshot_bytes_last, r.tweets
+                    );
+                    std::process::exit(1);
+                }
+                if store_dir.is_none() {
+                    let _ = std::fs::remove_dir_all(&dir);
+                }
+                Some(r)
+            }
+            Err(e) => {
+                eprintln!("[reproduce] store bench failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
     if let Some(path) = &timings_json {
-        write_timings_json(path, &exp, runs.as_ref().expect("runs"));
+        write_timings_json(path, &exp, runs.as_ref().expect("runs"), store.as_ref());
     }
     eprintln!("[reproduce] total {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -591,3 +591,97 @@ pub fn ablations(exp: &Experiment) -> String {
         &rows,
     )
 }
+
+/// Measured cost of the durable-store path: bytes appended to the WAL
+/// per ingested batch (the "delta checkpoint") against the size of a
+/// full state snapshot at the same point in the stream.
+pub struct StoreBenchResult {
+    /// Tweets streamed through the durable pipeline.
+    pub tweets: usize,
+    /// Batches ingested (one delta checkpoint each).
+    pub batches: usize,
+    /// WAL bytes appended for the final batch + finalize.
+    pub delta_bytes_last: u64,
+    /// Mean WAL bytes per batch across the whole run.
+    pub delta_bytes_avg: f64,
+    /// Size of the last full snapshot written.
+    pub snapshot_bytes_last: u64,
+    /// Total WAL bytes appended over the run.
+    pub wal_bytes_total: u64,
+    /// Full snapshots written (one every `checkpoint_every` batches).
+    pub snapshots: u64,
+    /// Whether the per-batch delta stayed below the snapshot size —
+    /// the sublinearity claim the store exists to deliver.
+    pub sublinear: bool,
+}
+
+/// Streams the eval datasets through a [`ngl_core::DurableGlobalizer`]
+/// rooted at `dir` and records the delta-vs-snapshot byte costs.
+/// Batches of 40 tweets; every batch is finalized so each one pays a
+/// full delta checkpoint.
+pub fn store_bench(
+    exp: &Experiment,
+    dir: &std::path::Path,
+    checkpoint_every: usize,
+) -> Result<StoreBenchResult, String> {
+    let pipeline = ngl_core::NerGlobalizer::new(
+        exp.local.clone(),
+        exp.phrase.clone(),
+        exp.classifier.clone(),
+        ngl_core::GlobalizerConfig::default(),
+    );
+    let (mut durable, _) = ngl_core::DurableGlobalizer::open(pipeline, dir, checkpoint_every)
+        .map_err(|e| e.to_string())?;
+
+    let mut stream: Vec<Vec<String>> = Vec::new();
+    for d in &exp.data.eval {
+        stream.extend(d.tweets.iter().map(|t| t.tokens.clone()));
+        if stream.len() >= 1200 {
+            break;
+        }
+    }
+    let mut batches = 0usize;
+    let mut delta_total = 0u64;
+    let mut delta_last = 0u64;
+    for batch in stream.chunks(40) {
+        durable.process_batch(batch.to_vec()).map_err(|e| e.to_string())?;
+        durable.finalize().map_err(|e| e.to_string())?;
+        delta_last = durable.stats().delta_bytes_last;
+        delta_total += delta_last;
+        batches += 1;
+    }
+    if durable.stats().snapshots == 0 {
+        // Short quick-scale streams may finish before the first
+        // scheduled snapshot; take one now so the comparison exists.
+        durable.snapshot().map_err(|e| e.to_string())?;
+    }
+    let stats = durable.stats();
+    Ok(StoreBenchResult {
+        tweets: stream.len(),
+        batches,
+        delta_bytes_last: delta_last,
+        delta_bytes_avg: delta_total as f64 / batches.max(1) as f64,
+        snapshot_bytes_last: stats.snapshot_bytes_last,
+        wal_bytes_total: stats.wal_bytes_total,
+        snapshots: stats.snapshots,
+        sublinear: delta_last < stats.snapshot_bytes_last,
+    })
+}
+
+/// Renders the [`store_bench`] comparison as a one-row bench table.
+pub fn store_table(r: &StoreBenchResult) -> String {
+    let rows = vec![vec![
+        r.tweets.to_string(),
+        r.batches.to_string(),
+        format!("{:.0}", r.delta_bytes_avg),
+        r.delta_bytes_last.to_string(),
+        r.snapshot_bytes_last.to_string(),
+        format!("{:.4}", r.delta_bytes_last as f64 / r.snapshot_bytes_last.max(1) as f64),
+        if r.sublinear { "yes" } else { "NO" }.to_string(),
+    ]];
+    render_table(
+        "Durable store: delta WAL bytes per batch vs full snapshot",
+        &["Tweets", "Batches", "AvgDeltaB", "LastDeltaB", "SnapshotB", "Ratio", "Sublinear"],
+        &rows,
+    )
+}

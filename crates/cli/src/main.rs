@@ -5,7 +5,9 @@
 //!              [--seed N] [--out file.conll]
 //! ngl train    --train train.conll --d5 d5.conll --out model.nglb \
 //!              [--dim 32] [--epochs 8]
-//! ngl tag      --model model.nglb [--input tweets.txt] [--conll]
+//! ngl tag      --model model.nglb [--input tweets.txt] [--conll] \
+//!              [--store-dir DIR] [--checkpoint-every N]
+//! ngl recover  --model model.nglb --store-dir DIR [--checkpoint-every N]
 //! ngl eval     --gold gold.conll --pred pred.conll
 //! ```
 //!
@@ -13,16 +15,20 @@
 //! `train` fine-tunes the Local NER encoder on one annotated corpus and
 //! the Global NER components on a D5-style stream, saving everything as
 //! one model bundle; `tag` streams raw tweets (one per line, stdin by
-//! default) through the full pipeline; `eval` scores CoNLL predictions
-//! against CoNLL gold.
+//! default) through the full pipeline — with `--store-dir` the run is
+//! durable: batches are write-ahead logged and state checkpoints
+//! incrementally, so a later `tag` or `recover` on the same dir resumes
+//! where the stream left off; `recover` replays a store dir without
+//! ingesting anything new and reports the recovered state; `eval`
+//! scores CoNLL predictions against CoNLL gold.
 
 use std::collections::HashMap;
 use std::io::Read;
 use std::process::ExitCode;
 
 use ngl_core::{
-    train_globalizer, GlobalizerBundle, GlobalizerConfig, GlobalizerTrainingConfig,
-    NerGlobalizer,
+    train_globalizer, DurableGlobalizer, GlobalizerBundle, GlobalizerConfig,
+    GlobalizerTrainingConfig, NerGlobalizer,
 };
 use ngl_corpus::{profiles, Dataset, KnowledgeBase};
 use ngl_encoder::{train_encoder, EncoderConfig, TokenEncoder, TrainConfig};
@@ -35,6 +41,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&parse_flags(&args[1..])),
         Some("train") => cmd_train(&parse_flags(&args[1..])),
         Some("tag") => cmd_tag(&parse_flags(&args[1..])),
+        Some("recover") => cmd_recover(&parse_flags(&args[1..])),
         Some("eval") => cmd_eval(&parse_flags(&args[1..])),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprintln!("{}", USAGE);
@@ -54,7 +61,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   ngl generate --profile <d1|d2|d3|d4|d5|wnut17|btc|local-train> [--seed N] [--out file.conll]
   ngl train    --train train.conll --d5 d5.conll --out model.nglb [--dim 32] [--epochs 8]
-  ngl tag      --model model.nglb [--input tweets.txt] [--conll]
+  ngl tag      --model model.nglb [--input tweets.txt] [--conll] [--store-dir DIR] [--checkpoint-every N]
+  ngl recover  --model model.nglb --store-dir DIR [--checkpoint-every N]
   ngl eval     --gold gold.conll --pred pred.conll";
 
 /// Parses `--key value` pairs plus bare `--flag` switches.
@@ -210,14 +218,38 @@ fn cmd_tag(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err("no input tweets".to_string());
     }
 
-    let mut pipeline = NerGlobalizer::new(
+    let pipeline = NerGlobalizer::new(
         bundle.encoder,
         bundle.phrase,
         bundle.classifier,
         GlobalizerConfig::default(),
     );
-    pipeline.process_batch(&tweets);
-    let spans = pipeline.finalize();
+    let (spans, n_surfaces) = match flags.get("store-dir") {
+        Some(dir) => {
+            let every: usize = parse_num(flags, "checkpoint-every", 8)?;
+            let (mut durable, report) =
+                DurableGlobalizer::open(pipeline, dir, every).map_err(|e| e.to_string())?;
+            if report.replayed_batches > 0 || report.snapshot_seq.is_some() {
+                eprintln!(
+                    "resumed store {dir}: {} tweets, watermark {}{}",
+                    report.tweets,
+                    report.watermark,
+                    if report.torn_tail { " (torn tail discarded)" } else { "" }
+                );
+            }
+            durable.process_batch(tweets.clone()).map_err(|e| e.to_string())?;
+            let all = durable.finalize().map_err(|e| e.to_string())?;
+            // A resumed store emits spans for every retained tweet;
+            // this invocation only prints the ones it just ingested.
+            let skip = all.len().saturating_sub(tweets.len());
+            (all[skip..].to_vec(), durable.inner().n_surfaces())
+        }
+        None => {
+            let mut pipeline = pipeline;
+            pipeline.process_batch(&tweets);
+            (pipeline.finalize(), pipeline.n_surfaces())
+        }
+    };
 
     if flags.contains_key("conll") {
         print!("{}", ngl_corpus::conll::predictions_to_conll(&tweets, &spans));
@@ -237,8 +269,43 @@ fn cmd_tag(flags: &HashMap<String, String>) -> Result<(), String> {
     eprintln!(
         "tagged {} tweets ({} candidate surfaces tracked)",
         tweets.len(),
-        pipeline.n_surfaces()
+        n_surfaces
     );
+    Ok(())
+}
+
+fn cmd_recover(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model = required(flags, "model")?;
+    let dir = required(flags, "store-dir")?;
+    let every: usize = parse_num(flags, "checkpoint-every", 8)?;
+    let bundle = GlobalizerBundle::load(model).map_err(|e| e.to_string())?;
+    let pipeline = NerGlobalizer::new(
+        bundle.encoder,
+        bundle.phrase,
+        bundle.classifier,
+        GlobalizerConfig::default(),
+    );
+    let (durable, report) =
+        DurableGlobalizer::open(pipeline, dir, every).map_err(|e| e.to_string())?;
+    println!("store:              {dir}");
+    println!(
+        "snapshot:           {}",
+        match report.snapshot_seq {
+            Some(seq) => format!("op {seq}"),
+            None => "none".to_string(),
+        }
+    );
+    println!("replayed batches:   {}", report.replayed_batches);
+    println!("replayed finalizes: {}", report.replayed_finalizes);
+    println!("torn tail:          {}", report.torn_tail);
+    println!("watermark:          {}", report.watermark);
+    println!("tweets:             {}", report.tweets);
+    println!(
+        "surfaces:           {} ({} resident)",
+        report.surfaces, report.resident_surfaces
+    );
+    println!("state digest:       {:016x}", report.digest);
+    drop(durable); // recovery only: nothing new is logged
     Ok(())
 }
 

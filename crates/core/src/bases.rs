@@ -24,6 +24,23 @@ pub struct MentionRecord {
     /// Type Local NER assigned to an overlapping detection, if any
     /// (used by the mention-extraction ablation's majority vote).
     pub local_type: Option<EntityType>,
+    /// The [`ngl_ctrie::CTrie`] version this mention was extracted
+    /// with. Retained mentions are re-extracted (and re-stamped) on
+    /// every version-bump rebuild, but mentions of *evicted* tweets are
+    /// frozen — a frozen mention whose version trails the live trie was
+    /// extracted with boundaries the current surface set might not
+    /// reproduce, and is reported stale by
+    /// `NerGlobalizer::stale_frozen_mentions`.
+    #[serde(default)]
+    pub trie_version: u64,
+}
+
+impl MentionRecord {
+    /// Rough heap footprint in bytes (embedding floats + struct), the
+    /// unit of account for `RetentionPolicy::SpillCold`.
+    pub fn approx_bytes(&self) -> usize {
+        self.local_emb.len() * std::mem::size_of::<f32>() + std::mem::size_of::<Self>()
+    }
 }
 
 /// A candidate cluster: one (surface form, entity) hypothesis.
@@ -56,6 +73,12 @@ pub struct SurfaceEntry {
     /// computed over (same skip logic as `clustered`).
     #[serde(default)]
     pub classified: usize,
+    /// Logical timestamp of the last touch (mention append or spill
+    /// rehydration), from the owning [`CandidateBase`]'s touch clock.
+    /// `RetentionPolicy::SpillCold` evicts the smallest-`touched`
+    /// (least-recently-matched) entries first.
+    #[serde(default)]
+    pub touched: u64,
 }
 
 impl SurfaceEntry {
@@ -76,12 +99,43 @@ impl SurfaceEntry {
         self.clustered = usize::MAX;
         self.classified = usize::MAX;
     }
+
+    /// Whether clusters *and* labels are current for the mention set —
+    /// only clean entries are eligible for cold spill (a dirty entry
+    /// still owes the next finalize a recompute).
+    pub fn is_clean(&self) -> bool {
+        !self.needs_recluster() && !self.needs_reclassify()
+    }
+
+    /// Rough heap footprint of the entry in bytes (mentions, clusters,
+    /// struct overhead) — the resident-memory measure bounded by
+    /// `RetentionPolicy::SpillCold`. Stable and monotone, like
+    /// [`TweetRecord::approx_bytes`].
+    pub fn approx_bytes(&self) -> usize {
+        let mention_bytes: usize = self.mentions.iter().map(MentionRecord::approx_bytes).sum();
+        let cluster_bytes: usize = self
+            .clusters
+            .iter()
+            .map(|c| {
+                c.members.len() * std::mem::size_of::<usize>()
+                    + c.global_emb.len() * std::mem::size_of::<f32>()
+                    + std::mem::size_of::<CandidateCluster>()
+            })
+            .sum();
+        mention_bytes + cluster_bytes + std::mem::size_of::<Self>()
+    }
 }
 
 /// Candidate store keyed by folded surface form.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CandidateBase {
     surfaces: BTreeMap<String, SurfaceEntry>,
+    /// Monotone logical clock stamping [`SurfaceEntry::touched`].
+    /// Advanced on every mention append (sequential in tweet order, so
+    /// stamps are identical across worker counts) and on every spill
+    /// rehydration.
+    #[serde(default)]
+    clock: u64,
 }
 
 impl CandidateBase {
@@ -91,8 +145,11 @@ impl CandidateBase {
     }
 
     /// Records a mention of `surface`, returning its index in the entry.
+    /// Bumps the entry's `touched` stamp — the surface was just matched.
     pub fn add_mention(&mut self, surface: &str, record: MentionRecord) -> usize {
+        self.clock += 1;
         let entry = self.surfaces.entry(surface.to_string()).or_default();
+        entry.touched = self.clock;
         entry.mentions.push(record);
         entry.mentions.len() - 1
     }
@@ -146,9 +203,23 @@ impl CandidateBase {
         }
     }
 
-    /// Installs a fully-formed entry (checkpoint restore).
+    /// Total approximate heap bytes of the resident entries — what
+    /// `RetentionPolicy::SpillCold` bounds.
+    pub fn resident_bytes(&self) -> usize {
+        self.surfaces.values().map(SurfaceEntry::approx_bytes).sum()
+    }
+
+    /// Installs a fully-formed entry (checkpoint restore, spill
+    /// rehydration). The touch clock is advanced past the entry's
+    /// stamp so future touches stay strictly newer.
     pub(crate) fn insert_entry(&mut self, surface: String, entry: SurfaceEntry) {
+        self.clock = self.clock.max(entry.touched);
         self.surfaces.insert(surface, entry);
+    }
+
+    /// Removes an entry wholesale (cold spill).
+    pub(crate) fn remove_entry(&mut self, surface: &str) -> Option<SurfaceEntry> {
+        self.surfaces.remove(surface)
     }
 
     /// Keeps only the mentions belonging to tweets `< from`, dropping
@@ -311,6 +382,7 @@ mod tests {
             end: 1,
             local_emb: vec![1.0, 0.0],
             local_type: None,
+            trie_version: 0,
         }
     }
 
@@ -444,6 +516,41 @@ mod tests {
         // "us" only had a newer mention — gone entirely.
         assert!(cb.get("us").is_none());
         assert_eq!(cb.len(), 1);
+    }
+
+    #[test]
+    fn touch_clock_orders_entries_by_recency() {
+        let mut cb = CandidateBase::new();
+        cb.add_mention("cold", record(0));
+        cb.add_mention("warm", record(1));
+        cb.add_mention("warm", record(2));
+        let cold = cb.get("cold").expect("entry").touched;
+        let warm = cb.get("warm").expect("entry").touched;
+        assert!(cold < warm, "cold {cold} must predate warm {warm}");
+        // A new mention re-stamps the entry, flipping the order.
+        cb.add_mention("cold", record(3));
+        assert!(cb.get("cold").expect("entry").touched > warm);
+        // Reinstalling an entry never rewinds the clock.
+        let e = cb.remove_entry("cold").expect("removed");
+        let stamp = e.touched;
+        cb.insert_entry("cold".into(), e);
+        cb.add_mention("warm", record(3));
+        assert!(cb.get("warm").expect("entry").touched > stamp);
+    }
+
+    #[test]
+    fn resident_bytes_track_entry_footprints() {
+        let mut cb = CandidateBase::new();
+        assert_eq!(cb.resident_bytes(), 0);
+        cb.add_mention("italy", record(0));
+        let one = cb.resident_bytes();
+        assert!(one > 0);
+        cb.add_mention("italy", record(1));
+        cb.add_mention("us", record(2));
+        let three = cb.resident_bytes();
+        assert!(three > one);
+        let removed = cb.remove_entry("italy").expect("entry");
+        assert_eq!(cb.resident_bytes(), three - removed.approx_bytes());
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! (both bump exactly once per newly-inserted surface and never
 //! decrease): re-inserting the surfaces reproduces the version, which
 //! [`get_checkpoint`] verifies.
+//!
+//! The codec is **versioned** alongside the `GlobalizerBundle` layout:
+//! v3 (current) adds the per-mention `trie_version` stamp, the
+//! per-surface `touched` LRU stamp and the `SpillCold` retention tag;
+//! v2 checkpoints load with both stamps defaulting to 0. Writers take
+//! the target version explicitly so migration tests can still produce
+//! v2 bytes.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -61,14 +68,20 @@ pub struct PipelineCheckpoint {
     pub seen_ids: BTreeSet<u64>,
 }
 
+/// Checkpoint layout with per-mention trie versions and per-surface
+/// touch stamps (bundle v3, current).
+pub(crate) const CK_V3: u32 = 3;
+/// Legacy checkpoint layout without the stamps (bundle v2).
+pub(crate) const CK_V2: u32 = 2;
+
 // ---- primitive helpers ------------------------------------------------
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     put_u64(buf, s.len() as u64);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, CodecError> {
+pub(crate) fn get_str(buf: &mut Bytes) -> Result<String, CodecError> {
     let len = get_u64(buf)? as usize;
     if len > buf.remaining() {
         return Err(CodecError::UnexpectedEof);
@@ -152,21 +165,25 @@ fn get_spans(buf: &mut Bytes) -> Result<Vec<Span>, CodecError> {
     Ok(spans)
 }
 
-fn put_mention(buf: &mut BytesMut, m: &MentionRecord) {
+fn put_mention(buf: &mut BytesMut, m: &MentionRecord, v: u32) {
     put_u64(buf, m.tweet as u64);
     put_u64(buf, m.start as u64);
     put_u64(buf, m.end as u64);
     put_f32_slice(buf, &m.local_emb);
     put_opt_type(buf, m.local_type);
+    if v >= CK_V3 {
+        put_u64(buf, m.trie_version);
+    }
 }
 
-fn get_mention(buf: &mut Bytes) -> Result<MentionRecord, CodecError> {
+fn get_mention(buf: &mut Bytes, v: u32) -> Result<MentionRecord, CodecError> {
     Ok(MentionRecord {
         tweet: get_u64(buf)? as usize,
         start: get_u64(buf)? as usize,
         end: get_u64(buf)? as usize,
         local_emb: get_f32_vec(buf)?,
         local_type: get_opt_type(buf)?,
+        trie_version: if v >= CK_V3 { get_u64(buf)? } else { 0 },
     })
 }
 
@@ -188,10 +205,10 @@ fn get_cluster(buf: &mut Bytes) -> Result<CandidateCluster, CodecError> {
     Ok(CandidateCluster { members, global_emb: get_f32_vec(buf)?, label: get_label(buf)? })
 }
 
-fn put_entry(buf: &mut BytesMut, e: &SurfaceEntry) {
+pub(crate) fn put_entry(buf: &mut BytesMut, e: &SurfaceEntry, v: u32) {
     put_u64(buf, e.mentions.len() as u64);
     for m in &e.mentions {
-        put_mention(buf, m);
+        put_mention(buf, m, v);
     }
     put_u64(buf, e.clusters.len() as u64);
     for c in &e.clusters {
@@ -199,13 +216,16 @@ fn put_entry(buf: &mut BytesMut, e: &SurfaceEntry) {
     }
     put_u64(buf, e.clustered as u64);
     put_u64(buf, e.classified as u64);
+    if v >= CK_V3 {
+        put_u64(buf, e.touched);
+    }
 }
 
-fn get_entry(buf: &mut Bytes) -> Result<SurfaceEntry, CodecError> {
+pub(crate) fn get_entry(buf: &mut Bytes, v: u32) -> Result<SurfaceEntry, CodecError> {
     let n = get_count(buf, 40)?;
     let mut mentions = Vec::with_capacity(n);
     for _ in 0..n {
-        mentions.push(get_mention(buf)?);
+        mentions.push(get_mention(buf, v)?);
     }
     let n = get_count(buf, 24)?;
     let mut clusters = Vec::with_capacity(n);
@@ -217,23 +237,25 @@ fn get_entry(buf: &mut Bytes) -> Result<SurfaceEntry, CodecError> {
         clusters,
         clustered: get_u64(buf)? as usize,
         classified: get_u64(buf)? as usize,
+        touched: if v >= CK_V3 { get_u64(buf)? } else { 0 },
     })
 }
 
-fn put_candidates(buf: &mut BytesMut, cb: &CandidateBase) {
+fn put_candidates(buf: &mut BytesMut, cb: &CandidateBase, v: u32) {
     put_u64(buf, cb.len() as u64);
     for (surface, entry) in cb.iter() {
         put_str(buf, surface);
-        put_entry(buf, entry);
+        put_entry(buf, entry, v);
     }
 }
 
-fn get_candidates(buf: &mut Bytes) -> Result<CandidateBase, CodecError> {
+fn get_candidates(buf: &mut Bytes, v: u32) -> Result<CandidateBase, CodecError> {
     let n = get_count(buf, 24)?;
     let mut cb = CandidateBase::new();
     for _ in 0..n {
         let surface = get_str(buf)?;
-        cb.insert_entry(surface, get_entry(buf)?);
+        let entry = get_entry(buf, v)?;
+        cb.insert_entry(surface, entry);
     }
     Ok(cb)
 }
@@ -316,6 +338,7 @@ fn put_config(buf: &mut BytesMut, cfg: &GlobalizerConfig) {
         RetentionPolicy::Unbounded => (0u64, 0u64),
         RetentionPolicy::MaxTweets(n) => (1, n as u64),
         RetentionPolicy::MaxBytes(b) => (2, b as u64),
+        RetentionPolicy::SpillCold(b) => (3, b as u64),
     };
     put_u64(buf, tag);
     put_u64(buf, arg);
@@ -340,6 +363,7 @@ fn get_config(buf: &mut Bytes) -> Result<GlobalizerConfig, CodecError> {
         0 => RetentionPolicy::Unbounded,
         1 => RetentionPolicy::MaxTweets(arg as usize),
         2 => RetentionPolicy::MaxBytes(arg as usize),
+        3 => RetentionPolicy::SpillCold(arg as usize),
         _ => return Err(CodecError::Invalid("retention tag out of range")),
     };
     let max_tweet_tokens = get_u64(buf)? as usize;
@@ -361,12 +385,13 @@ fn get_config(buf: &mut Bytes) -> Result<GlobalizerConfig, CodecError> {
 
 // ---- checkpoint codec -------------------------------------------------
 
-/// Appends the checkpoint to `buf` in the canonical layout.
-pub(crate) fn put_checkpoint(buf: &mut BytesMut, ck: &PipelineCheckpoint) {
+/// Appends the checkpoint to `buf` in the canonical layout for codec
+/// version `v` ([`CK_V2`] or [`CK_V3`]).
+pub(crate) fn put_checkpoint(buf: &mut BytesMut, ck: &PipelineCheckpoint, v: u32) {
     put_config(buf, &ck.cfg);
     put_ctrie(buf, &ck.ctrie);
     put_tweets(buf, &ck.tweets);
-    put_candidates(buf, &ck.candidates);
+    put_candidates(buf, &ck.candidates, v);
     put_u64(buf, ck.scanned_tweets as u64);
     put_u64(buf, ck.scanned_version);
     let mut keys: Vec<&(usize, usize, usize)> = ck.mention_cache.keys().collect();
@@ -384,12 +409,13 @@ pub(crate) fn put_checkpoint(buf: &mut BytesMut, ck: &PipelineCheckpoint) {
     }
 }
 
-/// Parses a checkpoint written by [`put_checkpoint`].
-pub(crate) fn get_checkpoint(buf: &mut Bytes) -> Result<PipelineCheckpoint, CodecError> {
+/// Parses a checkpoint written by [`put_checkpoint`] at codec
+/// version `v`.
+pub(crate) fn get_checkpoint(buf: &mut Bytes, v: u32) -> Result<PipelineCheckpoint, CodecError> {
     let cfg = get_config(buf)?;
     let ctrie = get_ctrie(buf)?;
     let tweets = get_tweets(buf)?;
-    let candidates = get_candidates(buf)?;
+    let candidates = get_candidates(buf, v)?;
     let scanned_tweets = get_u64(buf)? as usize;
     let scanned_version = get_u64(buf)?;
     let n = get_count(buf, 32)?;
@@ -445,6 +471,7 @@ mod tests {
             end: 2,
             local_emb: vec![1.0, -2.5, 3.25],
             local_type: Some(EntityType::Person),
+            trie_version: 2,
         });
         let entry = candidates.get_mut("beshear").expect("entry");
         entry.clusters.push(CandidateCluster {
@@ -475,36 +502,63 @@ mod tests {
         }
     }
 
-    fn to_bytes(ck: &PipelineCheckpoint) -> Bytes {
+    fn to_bytes(ck: &PipelineCheckpoint, v: u32) -> Bytes {
         let mut buf = BytesMut::new();
-        put_checkpoint(&mut buf, ck);
+        put_checkpoint(&mut buf, ck, v);
         buf.freeze()
     }
 
     #[test]
     fn round_trip_is_canonical() {
         let ck = sample();
-        let bytes = to_bytes(&ck);
+        let bytes = to_bytes(&ck, CK_V3);
         let mut cursor = bytes.clone();
-        let back = get_checkpoint(&mut cursor).expect("parse");
+        let back = get_checkpoint(&mut cursor, CK_V3).expect("parse");
         assert_eq!(cursor.remaining(), 0, "no trailing bytes");
         // Canonical serialization ⇒ byte equality is deep equality.
-        assert_eq!(to_bytes(&back), bytes);
+        assert_eq!(to_bytes(&back, CK_V3), bytes);
         assert_eq!(back.tweets.first_retained(), 1);
         assert_eq!(back.tweets.len(), 2);
         assert_eq!(back.ctrie.version(), 2);
         assert_eq!(back.cfg.retention, RetentionPolicy::MaxTweets(100));
         assert!(back.cfg.reject_empty);
         assert_eq!(back.seen_ids.len(), 2);
+        let entry = back.candidates.get("beshear").expect("entry");
+        assert_eq!(entry.mentions[0].trie_version, 2);
+        assert_eq!(entry.touched, 1);
+    }
+
+    #[test]
+    fn v2_layout_omits_the_stamps_and_loads_them_as_zero() {
+        let ck = sample();
+        let v2 = to_bytes(&ck, CK_V2);
+        let v3 = to_bytes(&ck, CK_V3);
+        // One mention + one entry each drop a u64 stamp in v2.
+        assert_eq!(v2.len() + 16, v3.len());
+        let mut cursor = v2.clone();
+        let back = get_checkpoint(&mut cursor, CK_V2).expect("parse v2");
+        assert_eq!(cursor.remaining(), 0, "no trailing bytes");
+        let entry = back.candidates.get("beshear").expect("entry");
+        assert_eq!(entry.mentions[0].trie_version, 0);
+        assert_eq!(entry.touched, 0);
+    }
+
+    #[test]
+    fn spill_cold_retention_round_trips() {
+        let mut ck = sample();
+        ck.cfg.retention = RetentionPolicy::SpillCold(1 << 20);
+        let bytes = to_bytes(&ck, CK_V3);
+        let back = get_checkpoint(&mut bytes.clone(), CK_V3).expect("parse");
+        assert_eq!(back.cfg.retention, RetentionPolicy::SpillCold(1 << 20));
     }
 
     #[test]
     fn truncation_fails_cleanly_everywhere() {
-        let bytes = to_bytes(&sample());
+        let bytes = to_bytes(&sample(), CK_V3);
         for cut in 0..bytes.len() {
             let mut truncated = bytes.slice(0..cut);
             assert!(
-                get_checkpoint(&mut truncated).is_err(),
+                get_checkpoint(&mut truncated, CK_V3).is_err(),
                 "cut at {cut} of {} parsed",
                 bytes.len()
             );
@@ -519,6 +573,6 @@ mod tests {
         put_u64(&mut buf, 0); // trie version
         put_u64(&mut buf, u64::MAX); // surface count
         let mut bytes = buf.freeze();
-        assert!(get_checkpoint(&mut bytes).is_err());
+        assert!(get_checkpoint(&mut bytes, CK_V3).is_err());
     }
 }

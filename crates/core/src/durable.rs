@@ -1,0 +1,861 @@
+//! Durable stream state on top of `ngl-store`: delta checkpointing
+//! via a typed write-ahead log, periodic full snapshots, and the
+//! cold-surface spill pool backing [`RetentionPolicy::SpillCold`].
+//!
+//! ## Delta checkpointing model
+//!
+//! The WAL records the pipeline's *logical operations* — batch inputs
+//! and finalize marks — rather than physical state diffs. Because the
+//! pipeline is deterministic for fixed models (the invariant pinned by
+//! the `parallel_equivalence` suite), replaying the logged operations
+//! from the last snapshot reconstructs state **bitwise identical** to
+//! the pre-crash run over the surviving prefix; each finalize mark
+//! additionally carries a [`NerGlobalizer::state_digest`] so recovery
+//! proves it reconverged instead of assuming it. Per-batch WAL cost is
+//! proportional to the *new inputs* of that batch (plus a constant-size
+//! finalize mark), while a full snapshot grows with the whole stream —
+//! which is what makes delta checkpointing sublinear per batch.
+//!
+//! Every `checkpoint_every` finalizes, [`DurableGlobalizer`] writes a
+//! full snapshot (the canonical checkpoint bytes of
+//! [`NerGlobalizer::export_state_bytes`]) and compacts: the WAL rotates
+//! and drops segments at or below the snapshot, and older snapshots are
+//! pruned (the newest two are kept — the latest plus one fallback in
+//! case the latest is found corrupt on open). Snapshots are sequenced
+//! by the global **operation counter** (`op_seq`, bumped once per batch
+//! and once per finalize); replay skips WAL records with
+//! `op_seq <= snapshot.seq`, so a crash *between* snapshot write and
+//! WAL compaction never double-applies an operation.
+//!
+//! ## Recovery
+//!
+//! [`DurableGlobalizer::open`] = newest valid snapshot + WAL replay.
+//! Torn or bit-flipped bytes at the very tail of the final WAL segment
+//! are tolerated (the write that was in flight when the process died);
+//! the replay stops at the last checksum-valid record, yielding exactly
+//! the state of a clean run over the surviving operations. Corruption
+//! anywhere earlier is a hard error — silently skipping interior
+//! records would violate prefix consistency.
+//!
+//! ## Cold-surface spill
+//!
+//! [`SpillPool`] serializes whole surface entries (mentions + their
+//! cached span embeddings) into an `ngl_store::SpillFile`. Spilled
+//! entries are transient per-process state — the pool is rebuilt by
+//! replay/rehydration, never recovered from disk — so the pool resets
+//! whenever state is rebuilt or snapshotted and re-spills afterwards,
+//! which doubles as spill-file compaction.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use bytes::{Bytes, BytesMut};
+
+use ngl_encoder::ContextualTagger;
+use ngl_nn::codec::{get_f32_vec, get_u64, put_f32_slice, put_u64, CodecError};
+use ngl_store::{SnapshotStore, SpillFile, StoreError, Wal};
+
+use crate::bases::SurfaceEntry;
+use crate::checkpoint::{get_entry, get_str, put_entry, put_str, CK_V3};
+use crate::persist::PersistError;
+use crate::pipeline::{BatchOutput, BatchReport, NerGlobalizer, RetentionPolicy};
+use ngl_runtime::TaskError;
+use ngl_text::Span;
+
+/// Spill-file and mention-cache entry: `(tweet, start, end)` ↦ span
+/// embedding.
+type CacheEntry = ((usize, usize, usize), Vec<f32>);
+
+// ---- spill pool --------------------------------------------------------
+
+/// Where one spilled surface lives inside the spill file.
+#[derive(Debug, Clone, Copy)]
+struct SpillSlot {
+    offset: u64,
+    bytes: u64,
+}
+
+/// An on-disk index of cold surface entries (see the module docs).
+/// Entries are keyed by surface form; the in-memory index maps each to
+/// a checksummed extent of the backing [`SpillFile`].
+pub struct SpillPool {
+    file: SpillFile,
+    index: BTreeMap<String, SpillSlot>,
+    /// `(surface, payload bytes)` spilled since the last
+    /// [`Self::take_spill_log`] drain.
+    spill_log: Vec<(String, u64)>,
+}
+
+impl SpillPool {
+    /// Opens (and truncates) the spill file at `path`. Spilled entries
+    /// never outlive the process, so an existing file's contents are
+    /// always stale.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
+        Ok(Self {
+            file: SpillFile::open(path)?,
+            index: BTreeMap::new(),
+            spill_log: Vec::new(),
+        })
+    }
+
+    /// Number of spilled surfaces.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether nothing is spilled.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `surface` is currently spilled.
+    pub fn contains(&self, surface: &str) -> bool {
+        self.index.contains_key(surface)
+    }
+
+    /// The spilled surfaces, in lexicographic order.
+    pub fn surfaces(&self) -> Vec<String> {
+        self.index.keys().cloned().collect()
+    }
+
+    /// Bytes held by live spilled entries (excludes dead extents of
+    /// already-rehydrated entries; those are reclaimed by the next
+    /// [`Self::reset`]).
+    pub fn live_bytes(&self) -> u64 {
+        self.index.values().map(|s| s.bytes).sum()
+    }
+
+    /// Total size of the backing file, dead extents included.
+    pub fn file_bytes(&self) -> u64 {
+        self.file.len()
+    }
+
+    /// Serializes `entry` (with the given slice of its cached span
+    /// embeddings) and appends it to the spill file. Returns the
+    /// payload size. The caller removes the resident copy *after* this
+    /// succeeds — serialize-before-remove.
+    pub fn spill(
+        &mut self,
+        surface: &str,
+        entry: &SurfaceEntry,
+        cache: &[CacheEntry],
+    ) -> Result<u64, StoreError> {
+        let mut buf = BytesMut::new();
+        put_str(&mut buf, surface);
+        put_entry(&mut buf, entry, CK_V3);
+        put_u64(&mut buf, cache.len() as u64);
+        for ((t, s, e), emb) in cache {
+            put_u64(&mut buf, *t as u64);
+            put_u64(&mut buf, *s as u64);
+            put_u64(&mut buf, *e as u64);
+            put_f32_slice(&mut buf, emb);
+        }
+        let bytes = buf.len() as u64;
+        let offset = self.file.append(&buf)?;
+        self.index.insert(surface.to_string(), SpillSlot { offset, bytes });
+        self.spill_log.push((surface.to_string(), bytes));
+        Ok(bytes)
+    }
+
+    fn decode(surface: &str, payload: &[u8]) -> Result<(SurfaceEntry, Vec<CacheEntry>), StoreError> {
+        let corrupt = |_: CodecError| StoreError::Corrupt("undecodable spill payload");
+        let mut buf = Bytes::from(payload.to_vec());
+        let stored = get_str(&mut buf).map_err(corrupt)?;
+        if stored != surface {
+            return Err(StoreError::Corrupt("spill payload names a different surface"));
+        }
+        let entry = get_entry(&mut buf, CK_V3).map_err(corrupt)?;
+        let n = get_u64(&mut buf).map_err(corrupt)? as usize;
+        if n > entry.mentions.len() {
+            return Err(StoreError::Corrupt("spill cache count exceeds mentions"));
+        }
+        let mut cache = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = get_u64(&mut buf).map_err(corrupt)? as usize;
+            let s = get_u64(&mut buf).map_err(corrupt)? as usize;
+            let e = get_u64(&mut buf).map_err(corrupt)? as usize;
+            let emb = get_f32_vec(&mut buf).map_err(corrupt)?;
+            cache.push(((t, s, e), emb));
+        }
+        Ok((entry, cache))
+    }
+
+    /// Removes `surface` from the pool and returns its entry and cached
+    /// embeddings (rehydration). The index slot is dropped even when
+    /// the read fails — a rotted extent can never rehydrate, so the
+    /// surface restarts empty rather than erroring forever.
+    pub fn take(&mut self, surface: &str) -> Result<Option<(SurfaceEntry, Vec<CacheEntry>)>, StoreError> {
+        let Some(slot) = self.index.remove(surface) else {
+            return Ok(None);
+        };
+        let payload = self.file.read(slot.offset)?;
+        Self::decode(surface, &payload).map(Some)
+    }
+
+    /// Decodes `surface`'s entry without removing it from the pool
+    /// (read-only emit access; no touch-stamp, no rehydration).
+    pub fn peek(&mut self, surface: &str) -> Result<Option<SurfaceEntry>, StoreError> {
+        let Some(slot) = self.index.get(surface).copied() else {
+            return Ok(None);
+        };
+        let payload = self.file.read(slot.offset)?;
+        Self::decode(surface, &payload).map(|(entry, _)| Some(entry))
+    }
+
+    /// Drops every spilled entry and truncates the backing file.
+    pub fn reset(&mut self) -> Result<(), StoreError> {
+        self.index.clear();
+        self.file.reset()?;
+        Ok(())
+    }
+
+    /// Drains the `(surface, bytes)` log of spills since the last call.
+    pub fn take_spill_log(&mut self) -> Vec<(String, u64)> {
+        std::mem::take(&mut self.spill_log)
+    }
+}
+
+// ---- WAL record codec --------------------------------------------------
+
+const TAG_BATCH: u8 = 1;
+const TAG_FINALIZE: u8 = 2;
+const TAG_EVICT: u8 = 3;
+const TAG_SPILL: u8 = 4;
+const TAG_SNAPSHOT: u8 = 5;
+
+/// A typed WAL record. `Batch` and `Finalize` drive replay; `Evict`,
+/// `Spill` and `Snapshot` are audit records — cheap summaries of
+/// derived transitions that replay re-derives and (for evictions)
+/// cross-checks.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum WalRecord {
+    /// The inputs of one ingested batch.
+    Batch { op_seq: u64, ids: Option<Vec<u64>>, tweets: Vec<Vec<String>> },
+    /// One finalize ran; carries the post-state summary + digest.
+    Finalize {
+        op_seq: u64,
+        watermark: u64,
+        first_retained: u64,
+        ctrie_version: u64,
+        surfaces: u64,
+        mentions: u64,
+        digest: u64,
+    },
+    /// Retention moved the eviction boundary during the finalize of
+    /// `op_seq`.
+    Evict { op_seq: u64, first_retained: u64 },
+    /// Cold surfaces were spilled during the finalize of `op_seq`.
+    Spill { op_seq: u64, count: u64, bytes: u64 },
+    /// A full snapshot sequenced at `op_seq` was durably written.
+    Snapshot { op_seq: u64, bytes: u64 },
+}
+
+impl WalRecord {
+    fn op_seq(&self) -> u64 {
+        match *self {
+            WalRecord::Batch { op_seq, .. }
+            | WalRecord::Finalize { op_seq, .. }
+            | WalRecord::Evict { op_seq, .. }
+            | WalRecord::Spill { op_seq, .. }
+            | WalRecord::Snapshot { op_seq, .. } => op_seq,
+        }
+    }
+
+    fn encode(&self) -> (u8, Vec<u8>) {
+        let mut buf = BytesMut::new();
+        let tag = match self {
+            WalRecord::Batch { op_seq, ids, tweets } => {
+                put_u64(&mut buf, *op_seq);
+                put_u64(&mut buf, ids.is_some() as u64);
+                put_u64(&mut buf, tweets.len() as u64);
+                for (i, tokens) in tweets.iter().enumerate() {
+                    if let Some(ids) = ids {
+                        put_u64(&mut buf, ids[i]);
+                    }
+                    put_u64(&mut buf, tokens.len() as u64);
+                    for t in tokens {
+                        put_str(&mut buf, t);
+                    }
+                }
+                TAG_BATCH
+            }
+            WalRecord::Finalize {
+                op_seq,
+                watermark,
+                first_retained,
+                ctrie_version,
+                surfaces,
+                mentions,
+                digest,
+            } => {
+                for v in [op_seq, watermark, first_retained, ctrie_version, surfaces, mentions, digest] {
+                    put_u64(&mut buf, *v);
+                }
+                TAG_FINALIZE
+            }
+            WalRecord::Evict { op_seq, first_retained } => {
+                put_u64(&mut buf, *op_seq);
+                put_u64(&mut buf, *first_retained);
+                TAG_EVICT
+            }
+            WalRecord::Spill { op_seq, count, bytes } => {
+                put_u64(&mut buf, *op_seq);
+                put_u64(&mut buf, *count);
+                put_u64(&mut buf, *bytes);
+                TAG_SPILL
+            }
+            WalRecord::Snapshot { op_seq, bytes } => {
+                put_u64(&mut buf, *op_seq);
+                put_u64(&mut buf, *bytes);
+                TAG_SNAPSHOT
+            }
+        };
+        (tag, buf.to_vec())
+    }
+
+    fn decode(tag: u8, payload: &[u8]) -> Result<Self, CodecError> {
+        let mut buf = Bytes::from(payload.to_vec());
+        let record = match tag {
+            TAG_BATCH => {
+                let op_seq = get_u64(&mut buf)?;
+                let has_ids = match get_u64(&mut buf)? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(CodecError::Invalid("batch has_ids flag out of range")),
+                };
+                let n = get_u64(&mut buf)? as usize;
+                // Each tweet costs ≥ 8 bytes (its token count) on the
+                // wire; bound allocation against corrupt counts.
+                if n.saturating_mul(8) > buf.len() {
+                    return Err(CodecError::Invalid("implausible batch size"));
+                }
+                let mut ids = has_ids.then(Vec::new);
+                let mut tweets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if let Some(ids) = ids.as_mut() {
+                        ids.push(get_u64(&mut buf)?);
+                    }
+                    let k = get_u64(&mut buf)? as usize;
+                    if k.saturating_mul(8) > buf.len() {
+                        return Err(CodecError::Invalid("implausible token count"));
+                    }
+                    let mut tokens = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        tokens.push(get_str(&mut buf)?);
+                    }
+                    tweets.push(tokens);
+                }
+                WalRecord::Batch { op_seq, ids, tweets }
+            }
+            TAG_FINALIZE => WalRecord::Finalize {
+                op_seq: get_u64(&mut buf)?,
+                watermark: get_u64(&mut buf)?,
+                first_retained: get_u64(&mut buf)?,
+                ctrie_version: get_u64(&mut buf)?,
+                surfaces: get_u64(&mut buf)?,
+                mentions: get_u64(&mut buf)?,
+                digest: get_u64(&mut buf)?,
+            },
+            TAG_EVICT => WalRecord::Evict {
+                op_seq: get_u64(&mut buf)?,
+                first_retained: get_u64(&mut buf)?,
+            },
+            TAG_SPILL => WalRecord::Spill {
+                op_seq: get_u64(&mut buf)?,
+                count: get_u64(&mut buf)?,
+                bytes: get_u64(&mut buf)?,
+            },
+            TAG_SNAPSHOT => WalRecord::Snapshot {
+                op_seq: get_u64(&mut buf)?,
+                bytes: get_u64(&mut buf)?,
+            },
+            _ => return Err(CodecError::Invalid("unknown WAL record tag")),
+        };
+        if !buf.is_empty() {
+            return Err(CodecError::Invalid("trailing bytes in WAL record"));
+        }
+        Ok(record)
+    }
+}
+
+// ---- errors ------------------------------------------------------------
+
+/// Why a durable operation failed.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The underlying WAL / snapshot / spill store failed.
+    Store(StoreError),
+    /// A WAL record or snapshot payload did not decode.
+    Codec(CodecError),
+    /// The snapshot checkpoint failed validation on import.
+    Persist(PersistError),
+    /// Replay reconverged to a different state than the pre-crash run
+    /// recorded — models, config or thread-determinism drifted.
+    DigestMismatch { op_seq: u64, logged: u64, replayed: u64 },
+    /// The log's structure is inconsistent (e.g. a finalize mark with
+    /// no preceding state, an eviction record contradicting replay).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Store(e) => write!(f, "store error: {e}"),
+            DurableError::Codec(e) => write!(f, "undecodable record: {e}"),
+            DurableError::Persist(e) => write!(f, "snapshot rejected: {e}"),
+            DurableError::DigestMismatch { op_seq, logged, replayed } => write!(
+                f,
+                "replay diverged at op {op_seq}: logged digest {logged:#x}, \
+                 replayed {replayed:#x}"
+            ),
+            DurableError::Corrupt(what) => write!(f, "corrupt durable log: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<StoreError> for DurableError {
+    fn from(e: StoreError) -> Self {
+        DurableError::Store(e)
+    }
+}
+
+impl From<CodecError> for DurableError {
+    fn from(e: CodecError) -> Self {
+        DurableError::Codec(e)
+    }
+}
+
+impl From<PersistError> for DurableError {
+    fn from(e: PersistError) -> Self {
+        DurableError::Persist(e)
+    }
+}
+
+// ---- durable wrapper ---------------------------------------------------
+
+/// What [`DurableGlobalizer::open`] reconstructed.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Sequence of the snapshot recovery started from (`None` = replay
+    /// from genesis).
+    pub snapshot_seq: Option<u64>,
+    /// Batches re-applied from the WAL.
+    pub replayed_batches: usize,
+    /// Finalizes re-run (and digest-verified) from the WAL.
+    pub replayed_finalizes: usize,
+    /// Whether a torn/corrupt tail was cut off the final WAL segment.
+    pub torn_tail: bool,
+    /// The recovered scan watermark.
+    pub watermark: usize,
+    /// The recovered CTrie surface count.
+    pub surfaces: usize,
+    /// Resident candidate surfaces after recovery.
+    pub resident_surfaces: usize,
+    /// Stored tweets after recovery.
+    pub tweets: usize,
+    /// The recovered state digest.
+    pub digest: u64,
+}
+
+/// Byte accounting for the delta-vs-snapshot comparison.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreStats {
+    /// WAL bytes appended by the most recent batch+finalize cycle —
+    /// the *delta* cost of that cycle.
+    pub delta_bytes_last: u64,
+    /// Total WAL bytes appended over the process lifetime.
+    pub wal_bytes_total: u64,
+    /// Size of the most recent full snapshot.
+    pub snapshot_bytes_last: u64,
+    /// Snapshots written.
+    pub snapshots: u64,
+    /// Batches logged.
+    pub batches: u64,
+    /// Finalizes logged.
+    pub finalizes: u64,
+}
+
+/// [`NerGlobalizer`] with durable state: every batch and finalize is
+/// logged to a WAL before/after it applies, full snapshots land every
+/// `checkpoint_every` finalizes, and [`RetentionPolicy::SpillCold`]
+/// gets its spill pool managed automatically (see the module docs).
+pub struct DurableGlobalizer<T: ContextualTagger> {
+    inner: NerGlobalizer<T>,
+    wal: Wal,
+    snaps: SnapshotStore,
+    pool: Option<SpillPool>,
+    dir: PathBuf,
+    checkpoint_every: usize,
+    op_seq: u64,
+    finalizes_since_snapshot: usize,
+    stats: StoreStats,
+}
+
+impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
+    /// Opens (or creates) the durable store at `dir` and recovers into
+    /// `inner`: newest valid snapshot first, then WAL replay with
+    /// per-finalize digest verification. `inner` must be a freshly
+    /// built pipeline with the *same models and config* as the run
+    /// that wrote the store — determinism of replay depends on it.
+    /// A snapshot lands every `checkpoint_every` finalizes (min 1).
+    pub fn open<P: AsRef<Path>>(
+        mut inner: NerGlobalizer<T>,
+        dir: P,
+        checkpoint_every: usize,
+    ) -> Result<(Self, RecoveryReport), DurableError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(StoreError::Io)?;
+        let snaps = SnapshotStore::open(&dir)?;
+        let wal = Wal::open(&dir)?;
+
+        let mut report = RecoveryReport::default();
+        let mut op_seq = 0u64;
+        if let Some((seq, payload)) = snaps.latest()? {
+            inner.import_state_bytes(&payload)?;
+            report.snapshot_seq = Some(seq);
+            op_seq = seq;
+        }
+
+        // The spill pool must exist before replay: replayed finalizes
+        // under SpillCold spill exactly like the original run did.
+        let mut pool = match inner.config().retention {
+            RetentionPolicy::SpillCold(_) => Some(SpillPool::create(dir.join("spill.cold"))?),
+            _ => None,
+        };
+
+        let replay = wal.replay()?;
+        // `Wal::open` repairs (cuts) a torn active-segment tail before
+        // replay sees it — surface either source of tearing.
+        report.torn_tail = replay.torn_tail || wal.repaired_tail();
+        for raw in &replay.records {
+            let record = WalRecord::decode(raw.tag, &raw.payload)?;
+            if record.op_seq() <= op_seq {
+                continue; // already inside the snapshot
+            }
+            match record {
+                WalRecord::Batch { op_seq: seq, ids, tweets } => {
+                    match ids {
+                        Some(ids) => {
+                            let batch = ids.into_iter().zip(tweets).collect();
+                            inner.try_process_batch_with_ids(batch);
+                        }
+                        None => {
+                            inner.try_process_batch_owned(tweets);
+                        }
+                    }
+                    op_seq = seq;
+                    report.replayed_batches += 1;
+                }
+                WalRecord::Finalize { op_seq: seq, digest, .. } => {
+                    inner.finalize_with_spill(pool.as_mut());
+                    let replayed = inner.state_digest();
+                    if replayed != digest {
+                        return Err(DurableError::DigestMismatch {
+                            op_seq: seq,
+                            logged: digest,
+                            replayed,
+                        });
+                    }
+                    op_seq = seq;
+                    report.replayed_finalizes += 1;
+                }
+                WalRecord::Evict { first_retained, .. } => {
+                    if inner.tweet_base().first_retained() as u64 != first_retained {
+                        return Err(DurableError::Corrupt(
+                            "eviction record contradicts replayed retention",
+                        ));
+                    }
+                }
+                // Audit-only: spills are re-derived by the replayed
+                // finalizes, snapshots were consumed above.
+                WalRecord::Spill { .. } | WalRecord::Snapshot { .. } => {}
+            }
+        }
+
+        report.watermark = inner.scan_watermark();
+        report.surfaces = inner.n_surfaces();
+        report.resident_surfaces = inner.candidate_base().len();
+        report.tweets = inner.tweet_base().len();
+        report.digest = inner.state_digest();
+        Ok((
+            Self {
+                inner,
+                wal,
+                snaps,
+                pool,
+                dir,
+                checkpoint_every: checkpoint_every.max(1),
+                op_seq,
+                finalizes_since_snapshot: 0,
+                stats: StoreStats::default(),
+            },
+            report,
+        ))
+    }
+
+    fn log(&mut self, record: &WalRecord) -> Result<(), DurableError> {
+        let (tag, payload) = record.encode();
+        let bytes = self.wal.append(tag, &payload)?;
+        self.stats.delta_bytes_last += bytes;
+        self.stats.wal_bytes_total += bytes;
+        Ok(())
+    }
+
+    /// Durably logs the batch inputs, then ingests them
+    /// (write-ahead: a crash after the log entry replays the batch; a
+    /// crash before it loses the batch wholesale — never half of it).
+    pub fn process_batch(
+        &mut self,
+        batch: Vec<Vec<String>>,
+    ) -> Result<(BatchOutput, BatchReport), DurableError> {
+        self.stats.delta_bytes_last = 0;
+        self.op_seq += 1;
+        self.log(&WalRecord::Batch {
+            op_seq: self.op_seq,
+            ids: None,
+            tweets: batch.clone(),
+        })?;
+        self.wal.sync()?;
+        self.stats.batches += 1;
+        Ok(self.inner.try_process_batch_owned(batch))
+    }
+
+    /// [`Self::process_batch`] for id-carrying streams.
+    pub fn process_batch_with_ids(
+        &mut self,
+        batch: Vec<(u64, Vec<String>)>,
+    ) -> Result<(BatchOutput, BatchReport), DurableError> {
+        self.stats.delta_bytes_last = 0;
+        self.op_seq += 1;
+        let (ids, tweets): (Vec<u64>, Vec<Vec<String>>) = batch.into_iter().unzip();
+        self.log(&WalRecord::Batch {
+            op_seq: self.op_seq,
+            ids: Some(ids.clone()),
+            tweets: tweets.clone(),
+        })?;
+        self.wal.sync()?;
+        self.stats.batches += 1;
+        Ok(self.inner.try_process_batch_with_ids(ids.into_iter().zip(tweets).collect()))
+    }
+
+    /// Runs the Global NER stages, then durably marks the finalize
+    /// (with its post-state digest) plus any derived eviction/spill
+    /// transitions, and snapshots + compacts every `checkpoint_every`
+    /// finalizes.
+    pub fn finalize(&mut self) -> Result<Vec<Vec<Span>>, DurableError> {
+        let first_retained_before = self.inner.tweet_base().first_retained();
+        self.op_seq += 1;
+        let out = self.inner.finalize_with_spill(self.pool.as_mut());
+
+        self.log(&WalRecord::Finalize {
+            op_seq: self.op_seq,
+            watermark: self.inner.scan_watermark() as u64,
+            first_retained: self.inner.tweet_base().first_retained() as u64,
+            ctrie_version: self.inner.trie_version(),
+            surfaces: self.inner.candidate_base().len() as u64,
+            mentions: self.inner.candidate_base().total_mentions() as u64,
+            digest: self.inner.state_digest(),
+        })?;
+        let first_retained_after = self.inner.tweet_base().first_retained();
+        if first_retained_after != first_retained_before {
+            self.log(&WalRecord::Evict {
+                op_seq: self.op_seq,
+                first_retained: first_retained_after as u64,
+            })?;
+        }
+        if let Some(pool) = self.pool.as_mut() {
+            let spills = pool.take_spill_log();
+            if !spills.is_empty() {
+                self.log(&WalRecord::Spill {
+                    op_seq: self.op_seq,
+                    count: spills.len() as u64,
+                    bytes: spills.iter().map(|(_, b)| b).sum(),
+                })?;
+            }
+        }
+        self.wal.sync()?;
+        self.stats.finalizes += 1;
+
+        self.finalizes_since_snapshot += 1;
+        if self.finalizes_since_snapshot >= self.checkpoint_every {
+            self.snapshot()?;
+            self.finalizes_since_snapshot = 0;
+        }
+        Ok(out)
+    }
+
+    /// Writes a full snapshot at the current `op_seq`, then compacts:
+    /// WAL segments at or below the snapshot are dropped and all but
+    /// the two newest snapshots pruned. With a spill pool, the state
+    /// is rehydrated first so the snapshot is complete, and re-spilled
+    /// afterwards (which also compacts the spill file).
+    pub fn snapshot(&mut self) -> Result<u64, DurableError> {
+        if let Some(pool) = self.pool.as_mut() {
+            self.inner.rehydrate_all(pool)?;
+        }
+        let payload = self.inner.export_state_bytes();
+        let bytes = self.snaps.write(self.op_seq, &payload)?;
+        self.stats.snapshot_bytes_last = bytes;
+        self.stats.snapshots += 1;
+
+        // Compaction: everything at or below the snapshot's op_seq is
+        // now redundant. Rotate so the active segment starts fresh,
+        // then drop the older segments; keep one fallback snapshot.
+        // The audit marker goes into the *new* segment so it survives
+        // until the next compaction.
+        let active = self.wal.rotate()?;
+        self.wal.compact_below(active)?;
+        self.log(&WalRecord::Snapshot { op_seq: self.op_seq, bytes })?;
+        self.wal.sync()?;
+        let mut snapshots = self.snaps.list()?;
+        snapshots.sort_unstable();
+        if snapshots.len() > 2 {
+            self.snaps.prune_below(snapshots[snapshots.len() - 2])?;
+        }
+
+        if let Some(pool) = self.pool.as_mut() {
+            pool.take_spill_log(); // re-spills below aren't new deltas
+            let mut errors: Vec<TaskError> = Vec::new();
+            self.inner.enforce_spill(pool, &mut errors);
+            pool.take_spill_log();
+            self.inner.push_finalize_errors(errors);
+        }
+        Ok(bytes)
+    }
+
+    /// The wrapped pipeline (read-only — mutating it directly would
+    /// desynchronize the WAL).
+    pub fn inner(&self) -> &NerGlobalizer<T> {
+        &self.inner
+    }
+
+    /// Drains fault diagnostics from the wrapped pipeline.
+    pub fn take_finalize_errors(&mut self) -> Vec<TaskError> {
+        self.inner.take_finalize_errors()
+    }
+
+    /// The spill pool, when [`RetentionPolicy::SpillCold`] is active.
+    pub fn spill_pool(&self) -> Option<&SpillPool> {
+        self.pool.as_ref()
+    }
+
+    /// The store directory.
+    pub fn store_dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The global operation counter (one per batch or finalize).
+    pub fn op_seq(&self) -> u64 {
+        self.op_seq
+    }
+
+    /// Byte accounting for the delta-vs-snapshot comparison.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bases::MentionRecord;
+
+    fn entry() -> SurfaceEntry {
+        SurfaceEntry {
+            mentions: vec![MentionRecord {
+                tweet: 3,
+                start: 1,
+                end: 2,
+                local_emb: vec![0.5, -1.5],
+                local_type: Some(ngl_text::EntityType::Person),
+                trie_version: 4,
+            }],
+            clusters: Vec::new(),
+            clustered: 1,
+            classified: 1,
+            touched: 9,
+        }
+    }
+
+    #[test]
+    fn wal_records_round_trip() {
+        let records = [
+            WalRecord::Batch {
+                op_seq: 1,
+                ids: None,
+                tweets: vec![vec!["a".into(), "b".into()], vec![]],
+            },
+            WalRecord::Batch {
+                op_seq: 2,
+                ids: Some(vec![7, 8]),
+                tweets: vec![vec!["x".into()], vec!["y".into()]],
+            },
+            WalRecord::Finalize {
+                op_seq: 3,
+                watermark: 4,
+                first_retained: 1,
+                ctrie_version: 5,
+                surfaces: 6,
+                mentions: 7,
+                digest: 0xDEAD_BEEF,
+            },
+            WalRecord::Evict { op_seq: 3, first_retained: 2 },
+            WalRecord::Spill { op_seq: 3, count: 2, bytes: 1024 },
+            WalRecord::Snapshot { op_seq: 3, bytes: 4096 },
+        ];
+        for r in &records {
+            let (tag, payload) = r.encode();
+            let back = WalRecord::decode(tag, &payload).expect("decode");
+            assert_eq!(&back, r);
+        }
+    }
+
+    #[test]
+    fn wal_record_decode_rejects_junk() {
+        assert!(WalRecord::decode(99, &[]).is_err());
+        let (tag, payload) = WalRecord::Evict { op_seq: 1, first_retained: 0 }.encode();
+        // Truncated payload.
+        assert!(WalRecord::decode(tag, &payload[..payload.len() - 1]).is_err());
+        // Trailing bytes.
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(WalRecord::decode(tag, &long).is_err());
+        // Implausible batch count.
+        let (tag, payload) = WalRecord::Batch { op_seq: 1, ids: None, tweets: vec![] }.encode();
+        let mut bad = payload.clone();
+        bad[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(WalRecord::decode(tag, &bad).is_err());
+    }
+
+    #[test]
+    fn spill_pool_round_trips_take_and_peek() {
+        let dir = std::env::temp_dir().join(format!("ngl-spillpool-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let mut pool = SpillPool::create(dir.join("spill.cold")).expect("create");
+        assert!(pool.is_empty());
+
+        let e = entry();
+        let cache = vec![((3usize, 1usize, 2usize), vec![0.5f32, -1.5])];
+        pool.spill("beshear", &e, &cache).expect("spill");
+        assert!(pool.contains("beshear"));
+        assert_eq!(pool.surfaces(), vec!["beshear".to_string()]);
+        assert_eq!(pool.take_spill_log().len(), 1);
+
+        let peeked = pool.peek("beshear").expect("peek io").expect("present");
+        assert_eq!(peeked.mentions.len(), 1);
+        assert_eq!(peeked.touched, 9);
+        assert!(pool.contains("beshear"), "peek must not consume");
+
+        let (back, back_cache) = pool.take("beshear").expect("take io").expect("present");
+        assert_eq!(back.mentions[0].trie_version, 4);
+        assert_eq!(back_cache, cache);
+        assert!(!pool.contains("beshear"));
+        assert!(pool.take("beshear").expect("missing ok").is_none());
+
+        pool.reset().expect("reset");
+        assert_eq!(pool.file_bytes(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -31,6 +31,7 @@
 pub mod bases;
 pub mod checkpoint;
 pub mod classifier;
+pub mod durable;
 pub mod mining;
 pub mod persist;
 pub mod phrase;
@@ -41,6 +42,7 @@ pub mod train;
 pub use bases::{CandidateBase, CandidateCluster, MentionRecord, SurfaceEntry, TweetBase};
 pub use checkpoint::PipelineCheckpoint;
 pub use classifier::{CandidateExample, ClassifierConfig, EntityClassifier};
+pub use durable::{DurableError, DurableGlobalizer, RecoveryReport, SpillPool, StoreStats};
 pub use persist::{GlobalizerBundle, PersistError};
 pub use phrase::{PhraseEmbedder, PhraseEmbedderConfig, PhraseLoss};
 pub use pipeline::{

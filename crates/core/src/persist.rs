@@ -4,12 +4,18 @@
 //! file and load it back — train once, deploy anywhere, restart
 //! without losing stream position.
 //!
-//! v2 layout (current):
+//! v3 layout (current):
 //! `magic ("NGLB") | version (u32) | payload_len (u64) | fnv1a64
 //! checksum of payload (u64) | payload`, where the payload is
 //! `encoder | phrase | classifier | has_checkpoint (u64: 0/1) |
 //! [checkpoint]`. The length + checksum header makes partial or
 //! bit-flipped writes detectable before any component parsing runs.
+//! v3 differs from v2 only inside the checkpoint: each mention carries
+//! the CTrie version it was extracted under, each surface entry its
+//! LRU `touched` stamp, and the retention codec knows `SpillCold`.
+//!
+//! v2 layout (legacy, still loadable): same framing, checkpoint
+//! without the per-mention / per-surface stamps — they load as 0.
 //!
 //! v1 layout (legacy, still loadable):
 //! `magic | version | encoder | phrase | classifier` — no checksum, no
@@ -29,12 +35,13 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ngl_encoder::TokenEncoder;
 use ngl_nn::CodecError;
 
-use crate::checkpoint::{get_checkpoint, put_checkpoint, PipelineCheckpoint};
+use crate::checkpoint::{get_checkpoint, put_checkpoint, PipelineCheckpoint, CK_V2, CK_V3};
 use crate::classifier::EntityClassifier;
 use crate::phrase::PhraseEmbedder;
 
 const MAGIC: &[u8; 4] = b"NGLB";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
+const V2_VERSION: u32 = 2;
 const LEGACY_VERSION: u32 = 1;
 
 /// Why loading a bundle failed.
@@ -118,8 +125,19 @@ impl GlobalizerBundle {
         Self { encoder, phrase, classifier, checkpoint: None }
     }
 
-    /// Serializes the bundle into one binary blob (v2 layout).
+    /// Serializes the bundle into one binary blob (v3 layout).
     pub fn to_bytes(&self) -> Bytes {
+        self.to_bytes_versioned(VERSION, CK_V3)
+    }
+
+    /// Serializes in the v2 layout (checkpoint without the trie-version
+    /// / touch stamps). Kept for the migration tests; new code should
+    /// use [`Self::to_bytes`].
+    pub fn to_bytes_v2(&self) -> Bytes {
+        self.to_bytes_versioned(V2_VERSION, CK_V2)
+    }
+
+    fn to_bytes_versioned(&self, version: u32, ck_version: u32) -> Bytes {
         let mut payload = BytesMut::new();
         payload.extend_from_slice(&self.encoder.to_bytes());
         payload.extend_from_slice(&self.phrase.to_bytes());
@@ -128,12 +146,12 @@ impl GlobalizerBundle {
             None => payload.put_u64_le(0),
             Some(ck) => {
                 payload.put_u64_le(1);
-                put_checkpoint(&mut payload, ck);
+                put_checkpoint(&mut payload, ck, ck_version);
             }
         }
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
-        buf.put_u32_le(VERSION);
+        buf.put_u32_le(version);
         buf.put_u64_le(payload.len() as u64);
         buf.put_u64_le(fnv1a64(&payload));
         buf.extend_from_slice(&payload);
@@ -166,8 +184,8 @@ impl GlobalizerBundle {
         }
         let version = bytes.get_u32_le();
         match version {
-            LEGACY_VERSION => Self::parse_components(bytes, false),
-            VERSION => {
+            LEGACY_VERSION => Self::parse_components(bytes, None),
+            VERSION | V2_VERSION => {
                 if bytes.remaining() < 16 {
                     return Err(PersistError::ChecksumMismatch);
                 }
@@ -179,20 +197,21 @@ impl GlobalizerBundle {
                 if fnv1a64(&bytes) != checksum {
                     return Err(PersistError::ChecksumMismatch);
                 }
-                Self::parse_components(bytes, true)
+                let ck_version = if version == VERSION { CK_V3 } else { CK_V2 };
+                Self::parse_components(bytes, Some(ck_version))
             }
             v => Err(PersistError::UnsupportedVersion(v)),
         }
     }
 
-    fn parse_components(mut bytes: Bytes, with_checkpoint: bool) -> Result<Self, PersistError> {
+    fn parse_components(mut bytes: Bytes, ck_version: Option<u32>) -> Result<Self, PersistError> {
         let encoder = TokenEncoder::from_bytes(&mut bytes)?;
         let phrase = PhraseEmbedder::from_bytes(&mut bytes)?;
         let classifier = EntityClassifier::from_bytes(&mut bytes)?;
-        let checkpoint = if with_checkpoint {
+        let checkpoint = if let Some(v) = ck_version {
             match ngl_nn::codec::get_u64(&mut bytes)? {
                 0 => None,
-                1 => Some(get_checkpoint(&mut bytes)?),
+                1 => Some(get_checkpoint(&mut bytes, v)?),
                 _ => return Err(PersistError::Codec(CodecError::Invalid(
                     "checkpoint flag out of range",
                 ))),
@@ -302,6 +321,49 @@ mod tests {
         assert!(back.checkpoint.is_none());
         let sent = toks("gov Beshear said stay home");
         assert_eq!(b.encoder.encode(&sent).embeddings, back.encoder.encode(&sent).embeddings);
+    }
+
+    #[test]
+    fn legacy_v2_bytes_load_with_zero_stamps() {
+        use crate::bases::{CandidateBase, MentionRecord, TweetBase};
+        use crate::pipeline::GlobalizerConfig;
+        use ngl_ctrie::CTrie;
+        use std::collections::{BTreeSet, HashMap};
+
+        let mut ctrie = CTrie::new();
+        ctrie.insert(&["beshear"]);
+        let mut candidates = CandidateBase::new();
+        candidates.add_mention("beshear", MentionRecord {
+            tweet: 0,
+            start: 1,
+            end: 2,
+            local_emb: vec![0.5; 16],
+            local_type: Some(ngl_text::EntityType::Person),
+            trie_version: 1,
+        });
+        let mut b = bundle();
+        b.checkpoint = Some(PipelineCheckpoint {
+            cfg: GlobalizerConfig::default(),
+            ctrie,
+            tweets: TweetBase::new(),
+            candidates,
+            scanned_tweets: 0,
+            scanned_version: 1,
+            mention_cache: HashMap::new(),
+            seen_ids: BTreeSet::new(),
+        });
+
+        let back = GlobalizerBundle::from_bytes(b.to_bytes_v2()).expect("v2 load");
+        let ck = back.checkpoint.expect("checkpoint survives");
+        let entry = ck.candidates.get("beshear").expect("entry");
+        // The v2 wire format has no stamps; they come back zeroed.
+        assert_eq!(entry.mentions[0].trie_version, 0);
+        assert_eq!(entry.touched, 0);
+
+        // The same bundle through the v3 path keeps them.
+        let back3 = GlobalizerBundle::from_bytes(b.to_bytes()).expect("v3 load");
+        let entry3 = back3.checkpoint.expect("checkpoint").candidates.get("beshear").cloned();
+        assert_eq!(entry3.expect("entry").mentions[0].trie_version, 1);
     }
 
     #[test]

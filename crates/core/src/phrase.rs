@@ -555,7 +555,7 @@ mod tests {
             v[base] = 1.0;
             v[(base + 1) % dim] = 0.8; // heavy overlap between classes
             for x in v.iter_mut() {
-                *x += rng.gen_range(-0.2..0.2);
+                *x += rng.gen_range(-0.2f32..0.2);
             }
             v
         };
@@ -605,7 +605,7 @@ mod tests {
                 v[class] = 1.0;
                 v[(class + 1) % dim] = 0.7;
                 for x in v.iter_mut() {
-                    *x += rng.gen_range(-0.15..0.15);
+                    *x += rng.gen_range(-0.15f32..0.15);
                 }
                 examples.push(SoftNnExample { pooled: v, class });
             }

@@ -110,6 +110,18 @@ pub enum RetentionPolicy {
     /// Keep tweet records totalling at most this many (approximate)
     /// heap bytes — see `TweetRecord::approx_bytes`.
     MaxBytes(usize),
+    /// Bound the **candidate store** instead of the tweet store: keep
+    /// resident [`CandidateBase`] entries under this many approximate
+    /// heap bytes by spilling the least-recently-touched clean surfaces
+    /// (mentions + cached embeddings) to a [`crate::durable::SpillPool`]
+    /// on disk, rehydrating them transparently when the CTrie matches
+    /// the surface again. Tweets are never evicted under this policy,
+    /// and final outputs are identical to an unbounded run — spilled
+    /// entries are still consulted (read-only) at emit time. Requires a
+    /// pool: [`NerGlobalizer::finalize_with_spill`] /
+    /// [`crate::durable::DurableGlobalizer`]; a plain
+    /// [`NerGlobalizer::finalize`] treats it as [`Self::Unbounded`].
+    SpillCold(usize),
 }
 
 /// Pipeline configuration.
@@ -509,8 +521,29 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     /// Runs the Global NER stages over everything processed so far and
     /// returns the final NER output per stored tweet. Can be called
     /// after every batch (incremental execution) or once at the end.
+    ///
+    /// Without a spill pool a [`RetentionPolicy::SpillCold`] config
+    /// behaves like [`RetentionPolicy::Unbounded`]; use
+    /// [`Self::finalize_with_spill`] (or the durable wrapper) to
+    /// actually bound candidate memory.
     pub fn finalize(&mut self) -> Vec<Vec<Span>> {
+        self.finalize_with_spill(None)
+    }
+
+    /// [`Self::finalize`] with an optional cold-surface spill pool.
+    /// Under [`RetentionPolicy::SpillCold`] the pool receives the
+    /// least-recently-touched clean surfaces after emission, spilled
+    /// surfaces re-matched by the scan are rehydrated first, and emit
+    /// consults spilled entries read-only — so outputs are identical
+    /// to an unbounded run while resident candidate memory stays under
+    /// the cap. Spill I/O failures degrade to
+    /// [`Self::take_finalize_errors`] diagnostics, never a panic.
+    pub fn finalize_with_spill(
+        &mut self,
+        mut pool: Option<&mut crate::durable::SpillPool>,
+    ) -> Vec<Vec<Span>> {
         let t0 = Instant::now();
+        let mut spill_errors = Vec::new();
         let out = match self.cfg.ablation {
             AblationMode::LocalOnly => (0..self.tweets.len())
                 .map(|i| {
@@ -522,7 +555,7 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
                 .collect(),
             mode => {
                 let t = Instant::now();
-                self.extract_and_embed();
+                self.extract_and_embed(pool.as_deref_mut());
                 self.timings.extract += t.elapsed();
                 let t = Instant::now();
                 self.cluster_candidates(mode);
@@ -530,10 +563,14 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
                 let t = Instant::now();
                 self.classify_candidates(mode);
                 self.timings.classify += t.elapsed();
-                self.emit(mode)
+                self.emit(mode, pool.as_deref_mut(), &mut spill_errors)
             }
         };
         self.enforce_retention();
+        if let Some(pool) = pool {
+            self.enforce_spill(pool, &mut spill_errors);
+        }
+        self.finalize_errors.append(&mut spill_errors);
         self.timings.global += t0.elapsed();
         out
     }
@@ -549,6 +586,12 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
             RetentionPolicy::Unbounded => false,
             RetentionPolicy::MaxTweets(n) => tweets.retained() > n,
             RetentionPolicy::MaxBytes(b) => tweets.retained_bytes() > b,
+            // SpillCold bounds the candidate store, not the tweet
+            // store; keeping every tweet means `first_retained` stays
+            // 0 and a CTrie version bump always performs a *full*
+            // rebuild — which is what lets the spill pool be cleared
+            // wholesale on rebuilds.
+            RetentionPolicy::SpillCold(_) => false,
         };
         let mut evicted = false;
         while over(&self.tweets) && self.tweets.first_retained() < self.scanned_tweets {
@@ -562,6 +605,146 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
             let keep_from = self.tweets.first_retained();
             self.mention_cache.retain(|&(t, _, _), _| t >= keep_from);
         }
+    }
+
+    /// Spills least-recently-touched clean surfaces to `pool` until
+    /// resident candidate memory is within the
+    /// [`RetentionPolicy::SpillCold`] budget. Victim order is
+    /// `(touched, surface)` over the BTreeMap, so spill decisions are
+    /// byte-deterministic across worker counts and across crash-replay.
+    /// Serialize-before-remove: an entry leaves memory only after its
+    /// bytes are durably appended, so an I/O failure (reported via
+    /// [`Self::take_finalize_errors`]) loses nothing.
+    pub(crate) fn enforce_spill(
+        &mut self,
+        pool: &mut crate::durable::SpillPool,
+        errors: &mut Vec<TaskError>,
+    ) {
+        let RetentionPolicy::SpillCold(budget) = self.cfg.retention else {
+            return;
+        };
+        while self.candidates.resident_bytes() > budget {
+            let victim = self
+                .candidates
+                .iter()
+                .filter(|(_, e)| e.is_clean())
+                .min_by(|(sa, ea), (sb, eb)| (ea.touched, *sa).cmp(&(eb.touched, *sb)))
+                .map(|(s, _)| s.clone());
+            let Some(surface) = victim else { break };
+            let entry = self.candidates.get(&surface).expect("victim resident");
+            let cache: Vec<((usize, usize, usize), Vec<f32>)> = entry
+                .mentions
+                .iter()
+                .filter_map(|m| {
+                    let key = (m.tweet, m.start, m.end);
+                    self.mention_cache.get(&key).map(|emb| (key, emb.clone()))
+                })
+                .collect();
+            if let Err(e) = pool.spill(&surface, entry, &cache) {
+                errors.push(TaskError {
+                    index: 0,
+                    payload: surface,
+                    message: format!("cold spill failed, entry kept resident: {e}"),
+                });
+                break;
+            }
+            self.candidates.remove_entry(&surface);
+            for (key, _) in &cache {
+                self.mention_cache.remove(key);
+            }
+        }
+    }
+
+    /// Moves every spilled surface back into the resident candidate
+    /// store (and mention cache), leaving `pool` empty. Used before
+    /// state export so snapshots always describe the *complete*
+    /// candidate store; the caller re-spills afterwards.
+    pub(crate) fn rehydrate_all(
+        &mut self,
+        pool: &mut crate::durable::SpillPool,
+    ) -> Result<(), ngl_store::StoreError> {
+        for surface in pool.surfaces() {
+            let (entry, cache) = pool.take(&surface)?.expect("listed surface present");
+            self.candidates.insert_entry(surface, entry);
+            self.mention_cache.extend(cache);
+        }
+        pool.reset()
+    }
+
+    /// Appends externally collected spill/store diagnostics to the
+    /// fault log drained by [`Self::take_finalize_errors`].
+    pub(crate) fn push_finalize_errors(&mut self, mut errors: Vec<TaskError>) {
+        self.finalize_errors.append(&mut errors);
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GlobalizerConfig {
+        &self.cfg
+    }
+
+    /// A cheap order-independent summary of the pipeline's logical
+    /// stream state — watermark, retention boundary, CTrie version,
+    /// and per-surface mention coordinates / progress counters. Two
+    /// runs that agree on this digest after every finalize agree on
+    /// state evolution; the durable WAL stores it per finalize mark so
+    /// crash recovery can prove it reconverged. Embedding floats are
+    /// deliberately excluded (they are a deterministic function of the
+    /// covered coordinates); full bitwise checks live in the
+    /// recovery tests, which compare exported checkpoint bytes.
+    pub fn state_digest(&self) -> u64 {
+        use ngl_store::fnv1a64;
+        let mut acc: Vec<u8> = Vec::new();
+        let mut word = |v: u64| acc.extend_from_slice(&v.to_le_bytes());
+        word(self.scanned_tweets as u64);
+        word(self.scanned_version);
+        word(self.tweets.len() as u64);
+        word(self.tweets.first_retained() as u64);
+        word(self.ctrie.version());
+        word(self.ctrie.len() as u64);
+        word(self.seen_ids.len() as u64);
+        word(self.mention_cache.len() as u64);
+        word(self.candidates.len() as u64);
+        let mut surfaces: Vec<u8> = Vec::new();
+        for (surface, entry) in self.candidates.iter() {
+            surfaces.extend_from_slice(surface.as_bytes());
+            for v in [
+                entry.mentions.len() as u64,
+                entry.clusters.len() as u64,
+                entry.clustered as u64,
+                entry.classified as u64,
+                entry.touched,
+            ] {
+                surfaces.extend_from_slice(&v.to_le_bytes());
+            }
+            for m in &entry.mentions {
+                for v in [m.tweet as u64, m.start as u64, m.end as u64, m.trie_version] {
+                    surfaces.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        word(fnv1a64(&surfaces));
+        fnv1a64(&acc)
+    }
+
+    /// Mentions that are **frozen** (their source tweet was evicted, so
+    /// they can never be re-extracted) *and* **stale** (the CTrie has
+    /// grown since they were extracted, so a from-scratch run over the
+    /// full stream might segment those positions differently). Returned
+    /// as `(surface, tweet, start, end)` so emit consumers can flag the
+    /// affected spans. Retained mentions are never stale: every version
+    /// bump rescans and re-stamps them.
+    pub fn stale_frozen_mentions(&self) -> Vec<(String, usize, usize, usize)> {
+        let frozen_below = self.tweets.first_retained();
+        let live = self.ctrie.version();
+        let mut out = Vec::new();
+        for (surface, entry) in self.candidates.iter() {
+            for m in &entry.mentions {
+                if m.tweet < frozen_below && m.trie_version < live {
+                    out.push((surface.clone(), m.tweet, m.start, m.end));
+                }
+            }
+        }
+        out
     }
 
     /// Stage (i)+(ii): CTrie scan plus phrase embedding of every
@@ -583,7 +766,14 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     /// Scan tasks are panic-isolated: a poison record degrades to a
     /// tweet with no extracted mentions, reported through
     /// [`Self::take_finalize_errors`].
-    fn extract_and_embed(&mut self) {
+    ///
+    /// With a spill pool, a surface re-matched by the scan while its
+    /// entry sits on disk is rehydrated (and touch-stamped) before the
+    /// new mention is appended; a version-bump rebuild instead clears
+    /// the pool wholesale — under [`RetentionPolicy::SpillCold`] no
+    /// tweet is ever evicted, so the rebuild re-derives every spilled
+    /// mention from the still-resident tweet records.
+    fn extract_and_embed(&mut self, mut pool: Option<&mut crate::durable::SpillPool>) {
         let version = self.ctrie.version();
         let start = if version == self.scanned_version {
             self.scanned_tweets
@@ -591,6 +781,15 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
             let keep_from = self.tweets.first_retained();
             if keep_from == 0 {
                 self.candidates = CandidateBase::new();
+                if let Some(pool) = pool.as_deref_mut() {
+                    if let Err(e) = pool.reset() {
+                        self.finalize_errors.push(TaskError {
+                            index: 0,
+                            payload: String::new(),
+                            message: format!("spill pool reset failed on rebuild: {e}"),
+                        });
+                    }
+                }
             } else {
                 // Freeze the evicted prefix, rebuild the retained
                 // suffix (marks every entry dirty).
@@ -635,6 +834,7 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
                                     end: occ.end,
                                     local_emb,
                                     local_type,
+                                    trie_version: version,
                                 },
                             )
                         })
@@ -645,6 +845,33 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
                 match result {
                     Ok(tweet_mentions) => {
                         for (surface, record) in tweet_mentions {
+                            if let Some(pool) = pool.as_deref_mut() {
+                                if pool.contains(&surface) {
+                                    match pool.take(&surface) {
+                                        Ok(Some((entry, cache))) => {
+                                            // No explicit re-touch: the
+                                            // add_mention below stamps
+                                            // recency exactly as it would
+                                            // for a resident entry, so
+                                            // replay-from-snapshot (where
+                                            // nothing is spilled) evolves
+                                            // the clock identically.
+                                            self.candidates
+                                                .insert_entry(surface.clone(), entry);
+                                            self.mention_cache.extend(cache);
+                                        }
+                                        Ok(None) => {}
+                                        Err(e) => self.finalize_errors.push(TaskError {
+                                            index: start + k,
+                                            payload: surface.clone(),
+                                            message: format!(
+                                                "spill rehydration failed, \
+                                                 entry restarts empty: {e}"
+                                            ),
+                                        }),
+                                    }
+                                }
+                            }
                             self.mention_cache
                                 .entry((record.tweet, record.start, record.end))
                                 .or_insert_with(|| record.local_emb.clone());
@@ -706,39 +933,66 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
         });
     }
 
-    /// Produces the final span outputs per tweet.
-    fn emit(&self, mode: AblationMode) -> Vec<Vec<Span>> {
+    /// Produces the final span outputs per tweet. Spilled surfaces
+    /// contribute exactly like resident ones — their entries are
+    /// decoded transiently from the pool (read-only; no rehydration,
+    /// no touch-stamp), so bounding resident memory never changes the
+    /// emitted spans.
+    fn emit(
+        &self,
+        mode: AblationMode,
+        pool: Option<&mut crate::durable::SpillPool>,
+        errors: &mut Vec<TaskError>,
+    ) -> Vec<Vec<Span>> {
         let mut out: Vec<Vec<Span>> = vec![Vec::new(); self.tweets.len()];
         for (_, entry) in self.candidates.iter() {
-            match mode {
-                AblationMode::MentionExtraction | AblationMode::FullGlobal => {
-                    for cluster in &entry.clusters {
-                        let Some(Some(ty)) = cluster.label else {
-                            continue; // unclassified or non-entity
-                        };
-                        for &mi in &cluster.members {
-                            let m = &entry.mentions[mi];
-                            out[m.tweet].push(Span::new(m.start, m.end, ty));
-                        }
-                    }
+            self.emit_entry(entry, mode, &mut out);
+        }
+        if let Some(pool) = pool {
+            for surface in pool.surfaces() {
+                match pool.peek(&surface) {
+                    Ok(Some(entry)) => self.emit_entry(&entry, mode, &mut out),
+                    Ok(None) => {}
+                    Err(e) => errors.push(TaskError {
+                        index: 0,
+                        payload: surface,
+                        message: format!("spilled entry unreadable at emit: {e}"),
+                    }),
                 }
-                AblationMode::LocalClassifier => {
-                    for m in &entry.mentions {
-                        let locals = Matrix::from_rows(&[m.local_emb.as_slice()]);
-                        if let Some(ty) =
-                            self.classifier.predict_confident(&locals, self.cfg.min_confidence)
-                        {
-                            out[m.tweet].push(Span::new(m.start, m.end, ty));
-                        }
-                    }
-                }
-                AblationMode::LocalOnly => {}
             }
         }
         for spans in &mut out {
             spans.sort_by_key(|s| (s.start, s.end));
         }
         out
+    }
+
+    /// Emission of a single surface entry (resident or spill-decoded).
+    fn emit_entry(&self, entry: &SurfaceEntry, mode: AblationMode, out: &mut [Vec<Span>]) {
+        match mode {
+            AblationMode::MentionExtraction | AblationMode::FullGlobal => {
+                for cluster in &entry.clusters {
+                    let Some(Some(ty)) = cluster.label else {
+                        continue; // unclassified or non-entity
+                    };
+                    for &mi in &cluster.members {
+                        let m = &entry.mentions[mi];
+                        out[m.tweet].push(Span::new(m.start, m.end, ty));
+                    }
+                }
+            }
+            AblationMode::LocalClassifier => {
+                for m in &entry.mentions {
+                    let locals = Matrix::from_rows(&[m.local_emb.as_slice()]);
+                    if let Some(ty) =
+                        self.classifier.predict_confident(&locals, self.cfg.min_confidence)
+                    {
+                        out[m.tweet].push(Span::new(m.start, m.end, ty));
+                    }
+                }
+            }
+            AblationMode::LocalOnly => {}
+        }
     }
 
     /// Local NER outputs of every stored tweet (for ablations and the
@@ -762,6 +1016,12 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     /// Number of surface forms currently registered in the CTrie.
     pub fn n_surfaces(&self) -> usize {
         self.ctrie.len()
+    }
+
+    /// The CTrie's monotone version counter (bumps once per newly
+    /// seeded surface).
+    pub fn trie_version(&self) -> u64 {
+        self.ctrie.version()
     }
 
     /// Number of span embeddings held by the incremental mention cache
@@ -828,6 +1088,28 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
             mention_cache: self.mention_cache.clone(),
             seen_ids: self.seen_ids.clone(),
         }
+    }
+
+    /// [`Self::export_state`] in the canonical v3 wire encoding —
+    /// equal pipeline states produce equal bytes, which is what the
+    /// durable snapshots store and the crash-recovery tests compare.
+    pub fn export_state_bytes(&self) -> bytes::Bytes {
+        let mut buf = bytes::BytesMut::new();
+        crate::checkpoint::put_checkpoint(&mut buf, &self.export_state(), crate::checkpoint::CK_V3);
+        buf.freeze()
+    }
+
+    /// Restores state from bytes produced by
+    /// [`Self::export_state_bytes`].
+    pub fn import_state_bytes(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut cursor = bytes::Bytes::from(bytes.to_vec());
+        let ck = crate::checkpoint::get_checkpoint(&mut cursor, crate::checkpoint::CK_V3)?;
+        if !cursor.is_empty() {
+            return Err(PersistError::Codec(ngl_nn::CodecError::Invalid(
+                "trailing bytes after checkpoint",
+            )));
+        }
+        self.import_state(ck)
     }
 
     /// Restores stream state captured by [`Self::export_state`],

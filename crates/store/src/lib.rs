@@ -1,0 +1,751 @@
+//! # ngl-store
+//!
+//! The durable-state substrate of the NER Globalizer: a **segment-based
+//! append-only write-ahead log** ([`Wal`]), a **crash-consistent
+//! snapshot store** ([`SnapshotStore`]) and a positional **spill file**
+//! ([`SpillFile`]) for cold surfaces. Deliberately dependency-free —
+//! `std` only — so every byte on disk is laid out by this crate.
+//!
+//! ## Record framing
+//!
+//! Every WAL record is framed as
+//!
+//! ```text
+//! len (u32 LE) | tag (u8) | fnv1a64(tag ++ payload) (u64 LE) | payload
+//! ```
+//!
+//! The checksum covers the tag byte and the payload, so neither a torn
+//! (truncated) tail nor a bit-flipped final record can be mistaken for
+//! valid data: a reader scans records until the first frame that is
+//! incomplete or fails its checksum and stops there, yielding exactly
+//! the checksum-valid prefix. [`Wal::open`] additionally *repairs* the
+//! tail — it truncates the active segment to the valid prefix so that
+//! subsequent appends never land behind garbage.
+//!
+//! ## Segments, rotation, compaction
+//!
+//! The log is a directory of numbered segment files (`wal-NNNNNNNN.log`).
+//! Appends go to the highest-numbered (active) segment and roll over to
+//! a fresh segment once [`Wal::segment_bytes`] is exceeded or
+//! [`Wal::rotate`] is called explicitly. After a snapshot has captured
+//! all state up to a point, [`Wal::compact_below`] deletes the segments
+//! that precede it — the delta log stays proportional to the stream
+//! since the last snapshot, not to the stream's lifetime.
+//!
+//! ## Snapshots
+//!
+//! [`SnapshotStore`] files (`snap-NNNNNNNN.ck`) carry their own
+//! `magic | version | seq | len | checksum` header and are written with
+//! the tmp-file + fsync + atomic-rename dance, so a crash mid-snapshot
+//! leaves the previous snapshot intact. [`SnapshotStore::latest`] walks
+//! candidates newest-first and silently skips corrupt ones — recovery
+//! always finds the newest snapshot that still verifies.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Per-record frame header: `len u32 | tag u8 | checksum u64`.
+const FRAME_HEADER: usize = 4 + 1 + 8;
+/// Upper bound on a single record payload — a corrupted length field
+/// must never trigger a giant allocation.
+const MAX_PAYLOAD: usize = 1 << 30;
+/// Default segment roll-over size.
+const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+const SNAP_MAGIC: &[u8; 4] = b"NGLS";
+const SNAP_VERSION: u32 = 1;
+/// Snapshot header: magic | version u32 | seq u64 | len u64 | checksum u64.
+const SNAP_HEADER: usize = 4 + 4 + 8 + 8 + 8;
+
+/// FNV-1a 64-bit: the workspace's tiny, dependency-free integrity hash.
+/// Guards against torn writes and bit rot, not adversaries.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// FNV-1a over several slices without concatenating them.
+fn fnv1a64_parts(parts: &[&[u8]]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
+}
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Data on disk is malformed beyond the tolerated torn tail (e.g. a
+    /// checksum failure in a non-final segment).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Application-level record type.
+    pub tag: u8,
+    /// Opaque record body.
+    pub payload: Vec<u8>,
+}
+
+/// Result of scanning one segment's bytes: the valid records, the byte
+/// length of the valid prefix, and whether the scan consumed the whole
+/// buffer (`false` = a torn or corrupt tail was cut off).
+struct SegmentScan {
+    records: Vec<Record>,
+    valid_len: usize,
+    clean: bool,
+}
+
+/// Decodes records from `data` until the first incomplete or
+/// checksum-invalid frame.
+fn scan_segment(data: &[u8]) -> SegmentScan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if data.len() - pos < FRAME_HEADER {
+            return SegmentScan { records, valid_len: pos, clean: pos == data.len() };
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        let tag = data[pos + 4];
+        let checksum = u64::from_le_bytes(data[pos + 5..pos + 13].try_into().unwrap());
+        if len > MAX_PAYLOAD || data.len() - pos - FRAME_HEADER < len {
+            return SegmentScan { records, valid_len: pos, clean: false };
+        }
+        let payload = &data[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
+        if fnv1a64_parts(&[&[tag], payload]) != checksum {
+            return SegmentScan { records, valid_len: pos, clean: false };
+        }
+        records.push(Record { tag, payload: payload.to_vec() });
+        pos += FRAME_HEADER + len;
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:08}.log"))
+}
+
+/// Lists `(seq, path)` of every WAL segment in `dir`, ascending.
+fn list_segments(dir: &Path) -> Result<BTreeMap<u64, PathBuf>, StoreError> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.insert(seq, path);
+        }
+    }
+    Ok(out)
+}
+
+/// A segment-based append-only write-ahead log (see the module docs).
+pub struct Wal {
+    dir: PathBuf,
+    active_seq: u64,
+    active: File,
+    active_len: u64,
+    segment_bytes: u64,
+    /// Whether `open` had to cut a torn tail off the active segment.
+    repaired_tail: bool,
+}
+
+impl Wal {
+    /// Opens (or creates) the log in `dir` with the default segment
+    /// roll-over size, repairing a torn tail on the active segment.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<Self, StoreError> {
+        Self::with_segment_bytes(dir, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// [`Self::open`] with an explicit segment roll-over size.
+    pub fn with_segment_bytes<P: AsRef<Path>>(
+        dir: P,
+        segment_bytes: u64,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let segments = list_segments(&dir)?;
+        let active_seq = segments.keys().next_back().copied().unwrap_or(0);
+        let path = segment_path(&dir, active_seq);
+        let mut repaired_tail = false;
+        let active_len = if path.exists() {
+            // Repair the tail: keep exactly the checksum-valid prefix so
+            // future appends continue a readable log.
+            let data = std::fs::read(&path)?;
+            let scan = scan_segment(&data);
+            if !scan.clean {
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(scan.valid_len as u64)?;
+                f.sync_all()?;
+                repaired_tail = true;
+            }
+            scan.valid_len as u64
+        } else {
+            0
+        };
+        let active = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self { dir, active_seq, active, active_len, segment_bytes, repaired_tail })
+    }
+
+    /// Whether [`Self::open`] found (and cut off) a torn tail.
+    pub fn repaired_tail(&self) -> bool {
+        self.repaired_tail
+    }
+
+    /// The configured segment roll-over size.
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes
+    }
+
+    /// Sequence number of the segment currently receiving appends.
+    pub fn active_segment(&self) -> u64 {
+        self.active_seq
+    }
+
+    /// Sequence numbers of every on-disk segment, ascending.
+    pub fn segments(&self) -> Result<Vec<u64>, StoreError> {
+        Ok(list_segments(&self.dir)?.into_keys().collect())
+    }
+
+    /// Total bytes across all on-disk segments.
+    pub fn total_bytes(&self) -> Result<u64, StoreError> {
+        let mut total = 0;
+        for path in list_segments(&self.dir)?.values() {
+            total += std::fs::metadata(path)?.len();
+        }
+        Ok(total)
+    }
+
+    /// Appends one record, rolling to a new segment first if the active
+    /// one is full. Returns the number of bytes written (frame included).
+    pub fn append(&mut self, tag: u8, payload: &[u8]) -> Result<u64, StoreError> {
+        assert!(payload.len() <= MAX_PAYLOAD, "record payload over MAX_PAYLOAD");
+        if self.active_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.push(tag);
+        frame.extend_from_slice(&fnv1a64_parts(&[&[tag], payload]).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.active.write_all(&frame)?;
+        self.active_len += frame.len() as u64;
+        Ok(frame.len() as u64)
+    }
+
+    /// Flushes appended records to stable storage.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.active.sync_all()?;
+        Ok(())
+    }
+
+    /// Closes the active segment and starts a fresh one; returns the new
+    /// segment's sequence number.
+    pub fn rotate(&mut self) -> Result<u64, StoreError> {
+        self.active.sync_all()?;
+        self.active_seq += 1;
+        let path = segment_path(&self.dir, self.active_seq);
+        self.active = OpenOptions::new().create(true).append(true).open(&path)?;
+        self.active_len = 0;
+        Ok(self.active_seq)
+    }
+
+    /// Deletes every segment with a sequence number strictly below
+    /// `seq` (post-snapshot compaction). Returns how many were removed.
+    pub fn compact_below(&mut self, seq: u64) -> Result<usize, StoreError> {
+        let mut removed = 0;
+        for (s, path) in list_segments(&self.dir)? {
+            if s < seq && s != self.active_seq {
+                std::fs::remove_file(path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Reads every record across all segments in order. A torn or
+    /// bit-flipped tail on the **final** segment is tolerated — the
+    /// replay stops at the last checksum-valid record and reports
+    /// `torn_tail = true`; invalid bytes in any earlier segment are a
+    /// hard [`StoreError::Corrupt`].
+    pub fn replay(&self) -> Result<Replay, StoreError> {
+        let segments = list_segments(&self.dir)?;
+        let last_seq = segments.keys().next_back().copied();
+        let mut records = Vec::new();
+        let mut torn_tail = false;
+        for (seq, path) in &segments {
+            let data = std::fs::read(path)?;
+            let scan = scan_segment(&data);
+            if !scan.clean {
+                if Some(*seq) != last_seq {
+                    return Err(StoreError::Corrupt("invalid record before the final segment"));
+                }
+                torn_tail = true;
+            }
+            records.extend(scan.records);
+        }
+        Ok(Replay { records, torn_tail })
+    }
+}
+
+/// Everything [`Wal::replay`] recovered.
+#[derive(Debug)]
+pub struct Replay {
+    /// The checksum-valid record prefix, in append order.
+    pub records: Vec<Record>,
+    /// Whether a torn/corrupt tail was cut off the final segment.
+    pub torn_tail: bool,
+}
+
+// ---- snapshots --------------------------------------------------------
+
+fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snap-{seq:08}.ck"))
+}
+
+fn list_snapshots(dir: &Path) -> Result<BTreeMap<u64, PathBuf>, StoreError> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if let Some(seq) = name
+            .strip_prefix("snap-")
+            .and_then(|s| s.strip_suffix(".ck"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.insert(seq, path);
+        }
+    }
+    Ok(out)
+}
+
+/// Crash-consistent, checksummed full-state snapshots (see module docs).
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Opens (or creates) the snapshot directory.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// Sequence numbers of every on-disk snapshot, ascending.
+    pub fn list(&self) -> Result<Vec<u64>, StoreError> {
+        Ok(list_snapshots(&self.dir)?.into_keys().collect())
+    }
+
+    /// Writes a snapshot atomically: tmp file, fsync, rename. A crash at
+    /// any point leaves either no `snap-<seq>` file or a complete one.
+    pub fn write(&self, seq: u64, payload: &[u8]) -> Result<u64, StoreError> {
+        let path = snapshot_path(&self.dir, seq);
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let mut bytes = Vec::with_capacity(SNAP_HEADER + payload.len());
+        bytes.extend_from_slice(SNAP_MAGIC);
+        bytes.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&seq.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        let write = (|| -> std::io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            drop(f);
+            std::fs::rename(&tmp, &path)
+        })();
+        if write.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        write?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Parses one snapshot file, verifying magic, version, length and
+    /// checksum.
+    fn read(path: &Path, expect_seq: u64) -> Result<Vec<u8>, StoreError> {
+        let data = std::fs::read(path)?;
+        if data.len() < SNAP_HEADER || &data[0..4] != SNAP_MAGIC {
+            return Err(StoreError::Corrupt("bad snapshot magic"));
+        }
+        if u32::from_le_bytes(data[4..8].try_into().unwrap()) != SNAP_VERSION {
+            return Err(StoreError::Corrupt("unsupported snapshot version"));
+        }
+        if u64::from_le_bytes(data[8..16].try_into().unwrap()) != expect_seq {
+            return Err(StoreError::Corrupt("snapshot seq mismatch"));
+        }
+        let len = u64::from_le_bytes(data[16..24].try_into().unwrap()) as usize;
+        let checksum = u64::from_le_bytes(data[24..32].try_into().unwrap());
+        if data.len() - SNAP_HEADER != len {
+            return Err(StoreError::Corrupt("snapshot length mismatch"));
+        }
+        if fnv1a64(&data[SNAP_HEADER..]) != checksum {
+            return Err(StoreError::Corrupt("snapshot checksum mismatch"));
+        }
+        Ok(data[SNAP_HEADER..].to_vec())
+    }
+
+    /// The newest snapshot that verifies, as `(seq, payload)` — corrupt
+    /// or torn snapshot files are skipped in favour of older ones.
+    pub fn latest(&self) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        for (seq, path) in list_snapshots(&self.dir)?.into_iter().rev() {
+            if let Ok(payload) = Self::read(&path, seq) {
+                return Ok(Some((seq, payload)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Deletes every snapshot with a sequence number strictly below
+    /// `seq`. Callers typically keep the latest two (the newest plus one
+    /// fallback). Returns how many were removed.
+    pub fn prune_below(&self, seq: u64) -> Result<usize, StoreError> {
+        let mut removed = 0;
+        for (s, path) in list_snapshots(&self.dir)? {
+            if s < seq {
+                std::fs::remove_file(path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+// ---- spill file -------------------------------------------------------
+
+/// Append-only file with positional, checksummed reads — the backing
+/// store for cold-surface spill. Each entry is framed as
+/// `len u32 | checksum u64 | payload`; [`SpillFile::read`] verifies the
+/// frame before returning the payload, so a bad offset or bit rot
+/// surfaces as [`StoreError::Corrupt`] rather than garbage state.
+///
+/// Spill entries are transient (rebuilt from resident state whenever the
+/// process restarts or a snapshot is cut), so the file supports
+/// [`SpillFile::reset`] instead of compaction.
+pub struct SpillFile {
+    file: File,
+    len: u64,
+}
+
+/// Frame header of one spill entry: `len u32 | checksum u64`.
+const SPILL_HEADER: usize = 4 + 8;
+
+impl SpillFile {
+    /// Opens (or creates) the spill file at `path`, truncating any
+    /// previous contents — spilled entries never outlive the process
+    /// that wrote them.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self { file, len: 0 })
+    }
+
+    /// Bytes currently in the file.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether nothing has been appended since the last reset.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one entry, returning the offset to read it back from.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        assert!(payload.len() <= MAX_PAYLOAD, "spill payload over MAX_PAYLOAD");
+        let offset = self.len;
+        let mut frame = Vec::with_capacity(SPILL_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        Ok(offset)
+    }
+
+    /// Reads back the entry appended at `offset`, verifying its frame.
+    pub fn read(&mut self, offset: u64) -> Result<Vec<u8>, StoreError> {
+        if offset + SPILL_HEADER as u64 > self.len {
+            return Err(StoreError::Corrupt("spill offset out of range"));
+        }
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut header = [0u8; SPILL_HEADER];
+        self.file.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+        let checksum = u64::from_le_bytes(header[4..12].try_into().unwrap());
+        if len > MAX_PAYLOAD || offset + (SPILL_HEADER + len) as u64 > self.len {
+            return Err(StoreError::Corrupt("spill entry length out of range"));
+        }
+        let mut payload = vec![0u8; len];
+        self.file.read_exact(&mut payload)?;
+        if fnv1a64(&payload) != checksum {
+            return Err(StoreError::Corrupt("spill entry checksum mismatch"));
+        }
+        Ok(payload)
+    }
+
+    /// Discards all entries (used when every spilled surface has been
+    /// rehydrated, e.g. before a snapshot or a CTrie-rebuild).
+    pub fn reset(&mut self) -> Result<(), StoreError> {
+        self.file.set_len(0)?;
+        self.len = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ngl-store-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn payloads() -> Vec<(u8, Vec<u8>)> {
+        vec![
+            (1, b"first".to_vec()),
+            (2, vec![]),
+            (1, vec![0xAB; 300]),
+            (3, b"tail record".to_vec()),
+        ]
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let mut wal = Wal::open(&dir).unwrap();
+        for (tag, p) in payloads() {
+            wal.append(tag, &p).unwrap();
+        }
+        wal.sync().unwrap();
+        let replay = wal.replay().unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(
+            replay.records,
+            payloads().into_iter().map(|(tag, payload)| Record { tag, payload }).collect::<Vec<_>>()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncation_at_every_byte_yields_the_valid_prefix() {
+        let dir = tmpdir("truncate");
+        let mut wal = Wal::open(&dir).unwrap();
+        let mut ends = Vec::new(); // byte offset after each record
+        let mut total = 0u64;
+        for (tag, p) in payloads() {
+            total += wal.append(tag, &p).unwrap();
+            ends.push(total);
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let seg = segment_path(&dir, 0);
+        let full = std::fs::read(&seg).unwrap();
+        assert_eq!(full.len() as u64, total);
+        for cut in 0..=full.len() {
+            std::fs::write(&seg, &full[..cut]).unwrap();
+            let expect = ends.iter().filter(|&&e| e <= cut as u64).count();
+            let wal = Wal::open(&dir).unwrap();
+            let replay = wal.replay().unwrap();
+            assert_eq!(replay.records.len(), expect, "cut at {cut}");
+            assert!(!replay.torn_tail, "open() must have repaired the tail (cut {cut})");
+            let at_boundary = cut == 0 || ends.contains(&(cut as u64));
+            assert_eq!(wal.repaired_tail(), !at_boundary, "cut at {cut}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_in_final_record_is_cut_off() {
+        let dir = tmpdir("bitflip");
+        let mut wal = Wal::open(&dir).unwrap();
+        let mut last_start = 0;
+        for (tag, p) in payloads() {
+            last_start = std::fs::metadata(segment_path(&dir, 0)).map(|m| m.len()).unwrap_or(0);
+            wal.append(tag, &p).unwrap();
+            wal.sync().unwrap();
+        }
+        drop(wal);
+        let seg = segment_path(&dir, 0);
+        let mut data = std::fs::read(&seg).unwrap();
+        let flip = last_start as usize + FRAME_HEADER; // first payload byte of last record
+        data[flip] ^= 0x01;
+        std::fs::write(&seg, &data).unwrap();
+        let wal = Wal::open(&dir).unwrap();
+        assert!(wal.repaired_tail());
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.records.len(), payloads().len() - 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn appends_after_tail_repair_stay_readable() {
+        let dir = tmpdir("repair-append");
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.append(1, b"keep").unwrap();
+        wal.append(2, b"gone").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let seg = segment_path(&dir, 0);
+        let data = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &data[..data.len() - 2]).unwrap(); // tear the tail
+        let mut wal = Wal::open(&dir).unwrap();
+        assert!(wal.repaired_tail());
+        wal.append(3, b"after repair").unwrap();
+        wal.sync().unwrap();
+        let replay = wal.replay().unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[1].payload, b"after repair");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_and_compaction() {
+        let dir = tmpdir("rotate");
+        // Tiny segments so appends roll over naturally.
+        let mut wal = Wal::with_segment_bytes(&dir, 64).unwrap();
+        for i in 0..10u8 {
+            wal.append(i, &[i; 40]).unwrap();
+        }
+        wal.sync().unwrap();
+        let segments = wal.segments().unwrap();
+        assert!(segments.len() > 1, "tiny segments must have rotated: {segments:?}");
+        assert_eq!(wal.replay().unwrap().records.len(), 10);
+        // Compact below the active segment: only it survives.
+        let active = wal.active_segment();
+        let removed = wal.compact_below(active).unwrap();
+        assert_eq!(removed, segments.len() - 1);
+        assert_eq!(wal.segments().unwrap(), vec![active]);
+        // Replay now only sees records in the surviving segment.
+        assert!(wal.replay().unwrap().records.len() < 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explicit_rotate_then_corrupt_middle_segment_is_a_hard_error() {
+        let dir = tmpdir("corrupt-middle");
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.append(1, b"segment zero").unwrap();
+        wal.rotate().unwrap();
+        wal.append(2, b"segment one").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Flip a byte in the *first* segment: not a tolerated torn tail.
+        let seg0 = segment_path(&dir, 0);
+        let mut data = std::fs::read(&seg0).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0xFF;
+        std::fs::write(&seg0, &data).unwrap();
+        let wal = Wal::open(&dir).unwrap();
+        assert!(matches!(wal.replay(), Err(StoreError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshots_fall_back_to_the_newest_valid_one() {
+        let dir = tmpdir("snap");
+        let snaps = SnapshotStore::open(&dir).unwrap();
+        assert!(snaps.latest().unwrap().is_none());
+        snaps.write(3, b"state at 3").unwrap();
+        snaps.write(7, b"state at 7").unwrap();
+        assert_eq!(snaps.latest().unwrap(), Some((7, b"state at 7".to_vec())));
+        // Corrupt the newest: latest() falls back to seq 3.
+        let p7 = snapshot_path(&dir, 7);
+        let mut data = std::fs::read(&p7).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0x10;
+        std::fs::write(&p7, &data).unwrap();
+        assert_eq!(snaps.latest().unwrap(), Some((3, b"state at 3".to_vec())));
+        // Truncated newest is also skipped.
+        std::fs::write(&p7, &data[..10]).unwrap();
+        assert_eq!(snaps.latest().unwrap(), Some((3, b"state at 3".to_vec())));
+        assert_eq!(snaps.prune_below(7).unwrap(), 1);
+        assert_eq!(snaps.list().unwrap(), vec![7]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_write_is_atomic_no_tmp_left_behind() {
+        let dir = tmpdir("snap-atomic");
+        let snaps = SnapshotStore::open(&dir).unwrap();
+        snaps.write(1, &[0x55; 1000]).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        assert_eq!(snaps.latest().unwrap().unwrap().1, vec![0x55; 1000]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_file_round_trips_and_detects_rot() {
+        let dir = tmpdir("spill");
+        let path = dir.join("spill.dat");
+        let mut spill = SpillFile::open(&path).unwrap();
+        assert!(spill.is_empty());
+        let a = spill.append(b"cold surface A").unwrap();
+        let b = spill.append(&[0x77; 500]).unwrap();
+        assert_eq!(spill.read(a).unwrap(), b"cold surface A");
+        assert_eq!(spill.read(b).unwrap(), vec![0x77; 500]);
+        // Reads are positional — order doesn't matter, repeats are fine.
+        assert_eq!(spill.read(a).unwrap(), b"cold surface A");
+        // A bogus offset is a typed error, not garbage.
+        assert!(matches!(spill.read(a + 1), Err(StoreError::Corrupt(_))));
+        assert!(matches!(spill.read(1 << 40), Err(StoreError::Corrupt(_))));
+        spill.reset().unwrap();
+        assert!(spill.is_empty());
+        assert!(spill.read(a).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`eval`] — span-level NER metrics and error analysis.
 //! * [`runtime`] — the scoped-thread parallel executor driving the
 //!   pipeline's hot stages (`NGL_THREADS`-configurable, deterministic).
+//! * [`store`] — the durable-state substrate: append-only WAL,
+//!   crash-consistent snapshots and the cold-surface spill file.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -31,4 +33,5 @@ pub use ngl_encoder as encoder;
 pub use ngl_eval as eval;
 pub use ngl_nn as nn;
 pub use ngl_runtime as runtime;
+pub use ngl_store as store;
 pub use ngl_text as text;
