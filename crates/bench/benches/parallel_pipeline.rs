@@ -128,10 +128,77 @@ fn bench_incremental_finalize(c: &mut Criterion) {
     group.finish();
 }
 
+/// Persistent pool vs per-call scoped spawn on small batches — the
+/// steady-state submission cost the pool exists to eliminate.
+fn bench_spawn_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/spawn_overhead");
+    group.sample_size(10);
+    let items: Vec<u64> = (0..64).collect();
+    let work = |x: u64| {
+        let mut h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for _ in 0..64 {
+            h ^= h >> 27;
+            h = h.wrapping_mul(0x3C79_AC49_2BA7_B653);
+        }
+        h
+    };
+    let pooled = Executor::new(2);
+    group.bench_function("pooled_64", |b| {
+        b.iter(|| {
+            pooled
+                .par_map(black_box(items.clone()), |_, x| work(x))
+                .into_iter()
+                .fold(0u64, u64::wrapping_add)
+        })
+    });
+    group.bench_function("scoped_spawn_64", |b| {
+        b.iter(|| {
+            use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+            let next = AtomicUsize::new(0);
+            let acc = AtomicU64::new(0);
+            let items = black_box(&items);
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        acc.fetch_add(work(items[i]), Ordering::Relaxed);
+                    });
+                }
+            });
+            acc.load(Ordering::Relaxed)
+        })
+    });
+    group.finish();
+}
+
+/// The giant-surface finalize tail: agglomerative linkage over one
+/// skewed surface's mentions, sequential vs the chunked parallel
+/// closest-pair scan.
+fn bench_giant_surface(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/giant_surface");
+    group.sample_size(10);
+    let points: Vec<Vec<f32>> = (0..320)
+        .map(|i| (0..16).map(|j| ((i * 31 + j * 7) % 997) as f32 / 997.0).collect())
+        .collect();
+    for (label, exec) in [("seq", Executor::sequential()), ("par4", Executor::new(4))] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                ngl_cluster::agglomerative_exec(black_box(&points), 0.6, &exec).n_clusters
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_process_batch,
     bench_finalize,
-    bench_incremental_finalize
+    bench_incremental_finalize,
+    bench_spawn_overhead,
+    bench_giant_surface
 );
 criterion_main!(benches);

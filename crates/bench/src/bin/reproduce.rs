@@ -4,9 +4,9 @@
 //! reproduce [--quick] [--seed N] [--timings-json PATH]
 //!           [--store-dir PATH] [--checkpoint-every N] [section ...]
 //! sections: table1 table2 table3 table4 table5 fig3 fig4
-//!           casestudy errors emd ablations store; "all" (default)
-//!           runs the paper artifacts (ablations must be requested
-//!           explicitly)
+//!           casestudy errors emd ablations store parallel;
+//!           "all" (default) runs the paper artifacts (ablations must
+//!           be requested explicitly)
 //! ```
 //!
 //! `--timings-json` additionally writes the per-stage pipeline
@@ -24,6 +24,14 @@
 //! otherwise in a throwaway temp dir. `--checkpoint-every` sets the
 //! snapshot cadence (default 8 batches). Past ~1k streamed tweets the
 //! run *asserts* the delta stays below the snapshot size.
+//!
+//! The `parallel` section (also forced by `--timings-json`) runs the
+//! persistent-executor tail benchmarks — per-call spawn overhead vs
+//! the worker pool, and the giant-surface clustering tail at 1 vs 4
+//! threads — and needs no trained experiment: invoked alone it skips
+//! the experiment build entirely. The rows land in the timings JSON
+//! under `"parallel"` (conventionally uploaded as
+//! `BENCH_parallel.json`).
 
 use std::time::Instant;
 
@@ -36,6 +44,7 @@ fn write_timings_json(
     exp: &Experiment,
     runs: &tables::EvalRuns,
     store: Option<&tables::StoreBenchResult>,
+    parallel: Option<&tables::ParallelBenchResult>,
 ) {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -71,6 +80,24 @@ fn write_timings_json(
             s.wal_bytes_total,
             s.snapshots,
             s.sublinear,
+        ));
+    }
+    if let Some(p) = parallel {
+        out.push_str(&format!(
+            ",\n  \"parallel\": {{\"spawn_overhead\": {{\"batch\": {}, \"rounds\": {}, \
+             \"pooled_s\": {:.6}, \"scoped_s\": {:.6}, \"speedup\": {:.3}}}, \
+             \"giant_surface_tail\": {{\"points\": {}, \"seq_s\": {:.6}, \
+             \"par4_s\": {:.6}, \"speedup\": {:.3}}}, \"parallelism\": {}}}",
+            p.batch,
+            p.rounds,
+            p.pooled_spawn_s,
+            p.scoped_spawn_s,
+            p.spawn_speedup,
+            p.giant_points,
+            p.giant_1t_s,
+            p.giant_4t_s,
+            p.giant_speedup,
+            p.parallelism,
         ));
     }
     out.push_str("\n}\n");
@@ -123,13 +150,28 @@ fn main() {
     }
     const KNOWN: &[&str] = &[
         "all", "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "casestudy",
-        "errors", "emd", "ablations", "store",
+        "errors", "emd", "ablations", "store", "parallel",
     ];
     if let Some(bad) = sections.iter().find(|s| !KNOWN.contains(&s.as_str())) {
         eprintln!("unknown section {bad:?}; known sections: {}", KNOWN.join(" "));
         std::process::exit(2);
     }
     let want = |s: &str| sections.iter().any(|x| x == s || x == "all");
+
+    // `parallel` alone needs no trained models — skip the (expensive)
+    // experiment build and exit once the bench rows are printed.
+    let run_parallel = sections.iter().any(|s| s == "parallel") || timings_json.is_some();
+    if run_parallel
+        && timings_json.is_none()
+        && store_dir.is_none()
+        && sections.iter().all(|s| s == "parallel")
+    {
+        eprintln!("[reproduce] running persistent-executor tail benchmarks...");
+        let t = Instant::now();
+        println!("{}", tables::parallel_table(&tables::parallel_bench()));
+        eprintln!("[reproduce] total {:.1}s", t.elapsed().as_secs_f64());
+        return;
+    }
 
     let scale = if quick { Scale::quick() } else { Scale::full() };
     eprintln!(
@@ -241,8 +283,24 @@ fn main() {
     } else {
         None
     };
+    let parallel = if run_parallel {
+        eprintln!("[reproduce] running persistent-executor tail benchmarks...");
+        let t = Instant::now();
+        let p = tables::parallel_bench();
+        eprintln!("[reproduce] parallel bench done in {:.1}s", t.elapsed().as_secs_f64());
+        println!("{}", tables::parallel_table(&p));
+        Some(p)
+    } else {
+        None
+    };
     if let Some(path) = &timings_json {
-        write_timings_json(path, &exp, runs.as_ref().expect("runs"), store.as_ref());
+        write_timings_json(
+            path,
+            &exp,
+            runs.as_ref().expect("runs"),
+            store.as_ref(),
+            parallel.as_ref(),
+        );
     }
     eprintln!("[reproduce] total {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -668,6 +668,172 @@ pub fn store_bench(
     })
 }
 
+/// Measured cost of the two tail attacks of the persistent-executor
+/// PR: per-call thread-spawn overhead on small batches (the reason the
+/// worker pool exists) and the giant-surface clustering tail (the
+/// reason intra-surface parallelism exists).
+pub struct ParallelBenchResult {
+    /// Items per submission in the spawn-overhead comparison.
+    pub batch: usize,
+    /// Submissions timed per side.
+    pub rounds: usize,
+    /// Total seconds for `rounds` submissions on the persistent pool.
+    pub pooled_spawn_s: f64,
+    /// Total seconds for the same work with threads spawned per call
+    /// (the pre-pool executor's model).
+    pub scoped_spawn_s: f64,
+    /// `scoped_spawn_s / pooled_spawn_s` — how much the pool saves on
+    /// small batches.
+    pub spawn_speedup: f64,
+    /// Mention count of the synthetic giant surface.
+    pub giant_points: usize,
+    /// Agglomerative clustering of the giant surface, sequential.
+    pub giant_1t_s: f64,
+    /// Same clustering on a 4-thread executor (chunked pair scan).
+    pub giant_4t_s: f64,
+    /// `giant_1t_s / giant_4t_s`.
+    pub giant_speedup: f64,
+    /// `std::thread::available_parallelism()` of the host — speedups
+    /// are only meaningful when this is > 1.
+    pub parallelism: usize,
+}
+
+/// The old executor's model, reconstructed as a baseline: spawn scoped
+/// worker threads for every call, share work through an atomic cursor,
+/// throw the threads away afterwards.
+fn scoped_spawn_par_map(items: &[u64], threads: usize, work: &(impl Fn(u64) -> u64 + Sync)) -> u64 {
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let acc = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut local = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local = local.wrapping_add(work(items[i]));
+                }
+                acc.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    acc.load(Ordering::Relaxed)
+}
+
+/// Runs both tail benchmarks. Self-contained — needs no trained
+/// [`Experiment`], so a `parallel`-only reproduce invocation skips the
+/// (expensive) experiment build entirely.
+pub fn parallel_bench() -> ParallelBenchResult {
+    use ngl_runtime::faults::SplitMix64;
+    use ngl_runtime::Executor;
+    use std::time::Instant;
+
+    // -- spawn overhead: many small batches ------------------------------
+    // The work per item is deliberately tiny; at batch ≤ 64 the
+    // dominant cost of the old executor was thread spawn + join.
+    const BATCH: usize = 64;
+    const ROUNDS: usize = 300;
+    let items: Vec<u64> = (0..BATCH as u64).collect();
+    let work = |x: u64| {
+        let mut h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for _ in 0..64 {
+            h ^= h >> 27;
+            h = h.wrapping_mul(0x3C79_AC49_2BA7_B653);
+        }
+        h
+    };
+
+    let pooled = Executor::new(2);
+    let wrapping_sum =
+        |v: Vec<u64>| v.into_iter().fold(0u64, u64::wrapping_add);
+    let mut sink = 0u64;
+    // Warm-up: workers parked, caches hot, so the loop times the
+    // steady state the pool is designed for.
+    sink = sink.wrapping_add(wrapping_sum(pooled.par_map(items.clone(), |_, x| work(x))));
+    let t = Instant::now();
+    for _ in 0..ROUNDS {
+        sink = sink.wrapping_add(wrapping_sum(pooled.par_map(items.clone(), |_, x| work(x))));
+    }
+    let pooled_spawn_s = t.elapsed().as_secs_f64();
+
+    sink = sink.wrapping_add(scoped_spawn_par_map(&items, 2, &work));
+    let t = Instant::now();
+    for _ in 0..ROUNDS {
+        sink = sink.wrapping_add(scoped_spawn_par_map(&items, 2, &work));
+    }
+    let scoped_spawn_s = t.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+
+    // -- giant-surface clustering tail -----------------------------------
+    // One skewed surface with hundreds of mentions: the O(n²) pair
+    // scan inside agglomerative linkage is the finalize tail. Same
+    // inputs sequentially and on 4 threads; outputs must agree
+    // (the chunked scan is bitwise-identical by construction).
+    const GIANT: usize = 320;
+    const DIM: usize = 16;
+    let mut rng = SplitMix64::new(0x61A7);
+    let points: Vec<Vec<f32>> = (0..GIANT)
+        .map(|_| (0..DIM).map(|_| (rng.next_below(1000) as f32) / 1000.0).collect())
+        .collect();
+    let threshold = 0.6;
+
+    let t = Instant::now();
+    let seq = ngl_cluster::agglomerative_exec(&points, threshold, &Executor::sequential());
+    let giant_1t_s = t.elapsed().as_secs_f64();
+    let par_exec = Executor::new(4);
+    let t = Instant::now();
+    let par = ngl_cluster::agglomerative_exec(&points, threshold, &par_exec);
+    let giant_4t_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        seq.assignments, par.assignments,
+        "parallel giant-surface clustering must be bitwise identical"
+    );
+
+    ParallelBenchResult {
+        batch: BATCH,
+        rounds: ROUNDS,
+        pooled_spawn_s,
+        scoped_spawn_s,
+        spawn_speedup: scoped_spawn_s / pooled_spawn_s.max(f64::MIN_POSITIVE),
+        giant_points: GIANT,
+        giant_1t_s,
+        giant_4t_s,
+        giant_speedup: giant_1t_s / giant_4t_s.max(f64::MIN_POSITIVE),
+        parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Renders the [`parallel_bench`] comparison as a two-row bench table.
+pub fn parallel_table(r: &ParallelBenchResult) -> String {
+    let rows = vec![
+        vec![
+            "spawn_overhead".to_string(),
+            format!("{} items x {}", r.batch, r.rounds),
+            secs(std::time::Duration::from_secs_f64(r.scoped_spawn_s)),
+            secs(std::time::Duration::from_secs_f64(r.pooled_spawn_s)),
+            format!("{:.2}x", r.spawn_speedup),
+        ],
+        vec![
+            "giant_surface_tail".to_string(),
+            format!("{} mentions", r.giant_points),
+            secs(std::time::Duration::from_secs_f64(r.giant_1t_s)),
+            secs(std::time::Duration::from_secs_f64(r.giant_4t_s)),
+            format!("{:.2}x", r.giant_speedup),
+        ],
+    ];
+    render_table(
+        &format!(
+            "Persistent executor: tail benchmarks (host parallelism {})",
+            r.parallelism
+        ),
+        &["Bench", "Workload", "Baseline", "Pooled", "Speedup"],
+        &rows,
+    )
+}
+
 /// Renders the [`store_bench`] comparison as a one-row bench table.
 pub fn store_table(r: &StoreBenchResult) -> String {
     let rows = vec![vec![

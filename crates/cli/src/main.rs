@@ -27,7 +27,7 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use ngl_core::{
-    train_globalizer, DurableGlobalizer, GlobalizerBundle, GlobalizerConfig,
+    model_fingerprint, train_globalizer, DurableGlobalizer, GlobalizerBundle, GlobalizerConfig,
     GlobalizerTrainingConfig, NerGlobalizer,
 };
 use ngl_corpus::{profiles, Dataset, KnowledgeBase};
@@ -196,6 +196,13 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Fingerprint of the model bundle *file*, binding a durable store to
+/// the exact serialized models that wrote it.
+fn model_file_fingerprint(path: &str) -> Result<u64, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    Ok(model_fingerprint(&bytes))
+}
+
 fn cmd_tag(flags: &HashMap<String, String>) -> Result<(), String> {
     let model = required(flags, "model")?;
     let bundle = GlobalizerBundle::load(model).map_err(|e| e.to_string())?;
@@ -227,8 +234,10 @@ fn cmd_tag(flags: &HashMap<String, String>) -> Result<(), String> {
     let (spans, n_surfaces) = match flags.get("store-dir") {
         Some(dir) => {
             let every: usize = parse_num(flags, "checkpoint-every", 8)?;
+            let fp = model_file_fingerprint(model)?;
             let (mut durable, report) =
-                DurableGlobalizer::open(pipeline, dir, every).map_err(|e| e.to_string())?;
+                DurableGlobalizer::open_with_fingerprint(pipeline, dir, every, Some(fp))
+                    .map_err(|e| e.to_string())?;
             if report.replayed_batches > 0 || report.snapshot_seq.is_some() {
                 eprintln!(
                     "resumed store {dir}: {} tweets, watermark {}{}",
@@ -285,8 +294,10 @@ fn cmd_recover(flags: &HashMap<String, String>) -> Result<(), String> {
         bundle.classifier,
         GlobalizerConfig::default(),
     );
+    let fp = model_file_fingerprint(model)?;
     let (durable, report) =
-        DurableGlobalizer::open(pipeline, dir, every).map_err(|e| e.to_string())?;
+        DurableGlobalizer::open_with_fingerprint(pipeline, dir, every, Some(fp))
+            .map_err(|e| e.to_string())?;
     println!("store:              {dir}");
     println!(
         "snapshot:           {}",

@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use ngl_nn::cosine::l2_normalized;
 use ngl_nn::linalg::dot;
+use ngl_runtime::Executor;
 
 /// Result of a batch clustering: a cluster id per input point.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -93,6 +94,31 @@ impl ClusterAgg {
 /// (tens to low hundreds), so the quadratic scan is not a bottleneck —
 /// confirmed by the `cluster` Criterion bench.
 pub fn agglomerative<P: AsRef<[f32]>>(points: &[P], threshold: f32) -> Clustering {
+    agglomerative_exec(points, threshold, &Executor::sequential())
+}
+
+/// Rows below this count run the closest-pair scan sequentially even on
+/// a parallel executor — the chunked scan only pays off once the O(n²)
+/// pair sweep dominates the per-call scheduling cost.
+const PAR_SCAN_MIN_ROWS: usize = 96;
+
+/// [`agglomerative`] with the closest-pair search parallelized over
+/// chunked rows on `exec` — for the giant surface forms whose quadratic
+/// scan would otherwise occupy one pipeline worker for the whole batch.
+///
+/// The merge *order* stays sequential and the output is **bitwise
+/// identical** to the sequential scan at any thread count: each chunk
+/// scans its row range in the same `(i, j)` order with the same strict
+/// `d < best` test starting from `+∞`, and the chunk-order reduction
+/// also uses strict `<`, so the winning pair is exactly the first pair
+/// in global scan order attaining the minimum — the sequential scan's
+/// answer. (NaN distances lose every strict comparison in both
+/// versions, so degenerate inputs agree too.)
+pub fn agglomerative_exec<P: AsRef<[f32]>>(
+    points: &[P],
+    threshold: f32,
+    exec: &Executor,
+) -> Clustering {
     let n = points.len();
     if n == 0 {
         return Clustering { assignments: Vec::new(), n_clusters: 0 };
@@ -107,16 +133,7 @@ pub fn agglomerative<P: AsRef<[f32]>>(points: &[P], threshold: f32) -> Clusterin
         if clusters.len() < 2 {
             break;
         }
-        // Find the closest pair.
-        let mut best = (0usize, 1usize, f32::INFINITY);
-        for i in 0..clusters.len() {
-            for j in i + 1..clusters.len() {
-                let d = clusters[i].distance(&clusters[j]);
-                if d < best.2 {
-                    best = (i, j, d);
-                }
-            }
-        }
+        let best = closest_pair(&clusters, exec);
         if best.2 >= threshold {
             break;
         }
@@ -131,6 +148,42 @@ pub fn agglomerative<P: AsRef<[f32]>>(points: &[P], threshold: f32) -> Clusterin
         }
     }
     Clustering { assignments, n_clusters: clusters.len() }
+}
+
+/// First pair (in `(i, j)` scan order) attaining the minimum pairwise
+/// distance, found sequentially or over row chunks — see
+/// [`agglomerative_exec`] for the equivalence argument.
+fn closest_pair(clusters: &[ClusterAgg], exec: &Executor) -> (usize, usize, f32) {
+    let n = clusters.len();
+    let scan_rows = |rows: std::ops::Range<usize>| {
+        let mut best = (0usize, 1usize, f32::INFINITY);
+        for i in rows {
+            for j in i + 1..n {
+                let d = clusters[i].distance(&clusters[j]);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        best
+    };
+    if exec.threads() <= 1 || n < PAR_SCAN_MIN_ROWS {
+        return scan_rows(0..n);
+    }
+    // Over-split relative to the thread count: early rows hold far more
+    // pairs than late ones, and the executor's dynamic scheduling evens
+    // that skew out across smaller chunks.
+    let chunk = n.div_ceil(exec.threads() * 4).max(8);
+    let ranges: Vec<std::ops::Range<usize>> =
+        (0..n).step_by(chunk).map(|s| s..(s + chunk).min(n)).collect();
+    let bests = exec.par_map(ranges, |_, r| scan_rows(r));
+    let mut best = (0usize, 1usize, f32::INFINITY);
+    for b in bests {
+        if b.2 < best.2 {
+            best = b;
+        }
+    }
+    best
 }
 
 /// Incrementally maintained clustering for the streaming setting (§V-C:
@@ -294,6 +347,26 @@ mod tests {
         let a = vec![vec![1.0, 0.0], vec![100.0, 1.0], vec![0.0, 2.0]];
         let b = vec![vec![0.01, 0.0], vec![1.0, 0.01], vec![0.0, 0.002]];
         assert_eq!(agglomerative(&a, 0.4), agglomerative(&b, 0.4));
+    }
+
+    #[test]
+    fn parallel_closest_pair_scan_is_bitwise_identical() {
+        // Enough rows to cross PAR_SCAN_MIN_ROWS so the chunked scan
+        // actually runs, with deliberately near-tied distances (points
+        // on a slowly wound spiral) to stress the first-minimum tie
+        // rule across chunk boundaries.
+        let pts: Vec<Vec<f32>> = (0..150)
+            .map(|i| {
+                let a = i as f32 * 0.041;
+                vec![a.cos(), a.sin(), (i % 7) as f32 * 0.05]
+            })
+            .collect();
+        let par = Executor::new(4);
+        for t in [0.02f32, 0.1, 0.4, 0.9, 1.5] {
+            let seq = agglomerative(&pts, t);
+            assert_eq!(seq, agglomerative_exec(&pts, t, &par), "threshold {t}");
+            assert_eq!(seq, agglomerative_exec(&pts, t, &Executor::sequential()));
+        }
     }
 
     #[test]

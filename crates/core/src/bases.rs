@@ -81,7 +81,20 @@ pub struct SurfaceEntry {
     pub touched: u64,
 }
 
+/// Mention count at which a surface counts as *giant* at finalize.
+/// Giant surfaces dominate the per-surface fan-out tail (their O(n²)
+/// linkage scan occupies one worker for the whole batch), so the
+/// pipeline runs them with the executor parallelizing *inside* the
+/// clustering and classification instead of across surfaces.
+pub const GIANT_SURFACE_MENTIONS: usize = 128;
+
 impl SurfaceEntry {
+    /// Whether this surface should be processed with intra-surface
+    /// parallelism at finalize (see [`GIANT_SURFACE_MENTIONS`]).
+    pub fn is_giant(&self) -> bool {
+        self.mentions.len() >= GIANT_SURFACE_MENTIONS
+    }
+
     /// Whether the mention set changed since clusters were computed.
     pub fn needs_recluster(&self) -> bool {
         self.clustered != self.mentions.len()

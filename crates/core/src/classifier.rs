@@ -142,6 +142,35 @@ impl EntityClassifier {
         }
     }
 
+    /// Fused scoring for the finalize hot path: the pooled global
+    /// embedding (Eq. 8) **and** the confidence-gated prediction from a
+    /// single attention pass, instead of one pass for
+    /// [`Self::global_embedding`] and another inside
+    /// [`Self::predict_confident`]. The pooling is deterministic, so
+    /// both outputs are bitwise identical to the two separate calls.
+    pub fn score_candidate(
+        &self,
+        locals: &Matrix,
+        min_confidence: f32,
+    ) -> (Vec<f32>, Option<EntityType>) {
+        let (global, _) = self.pooling.forward(locals);
+        let x = Matrix::from_rows(&[global.as_slice()]);
+        let h = Relu.forward(&self.l1.forward(&x));
+        let logits = self.l2.forward(&h);
+        let p = SoftmaxCrossEntropy.probabilities(&logits);
+        let p = p.row(0);
+        let (best, prob) = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite prob"))
+            .expect("non-empty probs");
+        let label = match EntityType::from_class_index(best) {
+            Some(ty) if *prob >= min_confidence => Some(ty),
+            _ => None,
+        };
+        (global, label)
+    }
+
     /// Mean cross-entropy over a candidate set.
     pub fn loss(&self, examples: &[CandidateExample]) -> f32 {
         let sce = SoftmaxCrossEntropy;

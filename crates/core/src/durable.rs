@@ -66,6 +66,10 @@ use ngl_text::Span;
 /// embedding.
 type CacheEntry = ((usize, usize, usize), Vec<f32>);
 
+/// Env var overriding the spill file's read-side page-cache budget in
+/// bytes (`0` disables the cache).
+pub const SPILL_CACHE_ENV: &str = "NGL_SPILL_CACHE_BYTES";
+
 // ---- spill pool --------------------------------------------------------
 
 /// Where one spilled surface lives inside the spill file.
@@ -91,11 +95,20 @@ impl SpillPool {
     /// never outlive the process, so an existing file's contents are
     /// always stale.
     pub fn create<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
-        Ok(Self {
-            file: SpillFile::open(path)?,
-            index: BTreeMap::new(),
-            spill_log: Vec::new(),
-        })
+        let mut file = SpillFile::open(path)?;
+        // Read-side page-cache budget: `NGL_SPILL_CACHE_BYTES=0`
+        // disables caching, unset keeps the ngl-store default.
+        if let Ok(raw) = std::env::var(SPILL_CACHE_ENV) {
+            if let Ok(bytes) = raw.trim().parse::<usize>() {
+                file.set_page_cache_budget(bytes);
+            }
+        }
+        Ok(Self { file, index: BTreeMap::new(), spill_log: Vec::new() })
+    }
+
+    /// `(hits, misses)` of the spill file's read-side page cache.
+    pub fn page_cache_stats(&self) -> (u64, u64) {
+        self.file.page_cache_stats()
     }
 
     /// Number of spilled surfaces.
@@ -392,6 +405,11 @@ pub enum DurableError {
     /// Replay reconverged to a different state than the pre-crash run
     /// recorded — models, config or thread-determinism drifted.
     DigestMismatch { op_seq: u64, logged: u64, replayed: u64 },
+    /// The store was written under a different model bundle than the
+    /// one now opening it. Raised *before* any snapshot import or
+    /// replay work — wrong models would otherwise only surface as a
+    /// digest mismatch at the first replayed finalize.
+    ModelMismatch { stored: u64, current: u64 },
     /// The log's structure is inconsistent (e.g. a finalize mark with
     /// no preceding state, an eviction record contradicting replay).
     Corrupt(&'static str),
@@ -407,6 +425,12 @@ impl std::fmt::Display for DurableError {
                 f,
                 "replay diverged at op {op_seq}: logged digest {logged:#x}, \
                  replayed {replayed:#x}"
+            ),
+            DurableError::ModelMismatch { stored, current } => write!(
+                f,
+                "model fingerprint mismatch: store was written with \
+                 {stored:#018x}, current bundle is {current:#018x} — \
+                 recover with the original models or start a fresh store"
             ),
             DurableError::Corrupt(what) => write!(f, "corrupt durable log: {what}"),
         }
@@ -431,6 +455,46 @@ impl From<PersistError> for DurableError {
     fn from(e: PersistError) -> Self {
         DurableError::Persist(e)
     }
+}
+
+// ---- model fingerprint -------------------------------------------------
+
+/// File next to the WAL/snapshots binding the store to a model bundle:
+/// `magic "NGLM" | version u32 LE | fingerprint u64 LE`.
+const MODEL_META_FILE: &str = "model.meta";
+const MODEL_META_MAGIC: &[u8; 4] = b"NGLM";
+const MODEL_META_VERSION: u32 = 1;
+
+/// Stable fingerprint of a model bundle's serialized bytes, for
+/// [`DurableGlobalizer::open_with_fingerprint`]. Any stable hash
+/// works; this one is the store's own FNV-1a so CLI and tests agree
+/// on one definition.
+pub fn model_fingerprint(bundle_bytes: &[u8]) -> u64 {
+    ngl_store::fnv1a64(bundle_bytes)
+}
+
+fn read_model_meta(path: &Path) -> Result<Option<u64>, DurableError> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::Io(e).into()),
+    };
+    if bytes.len() != 16 || &bytes[0..4] != MODEL_META_MAGIC {
+        return Err(DurableError::Corrupt("unreadable model fingerprint file"));
+    }
+    if u32::from_le_bytes(bytes[4..8].try_into().unwrap()) != MODEL_META_VERSION {
+        return Err(DurableError::Corrupt("unsupported model fingerprint version"));
+    }
+    Ok(Some(u64::from_le_bytes(bytes[8..16].try_into().unwrap())))
+}
+
+fn write_model_meta(path: &Path, fingerprint: u64) -> Result<(), DurableError> {
+    let mut bytes = Vec::with_capacity(16);
+    bytes.extend_from_slice(MODEL_META_MAGIC);
+    bytes.extend_from_slice(&MODEL_META_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&fingerprint.to_le_bytes());
+    std::fs::write(path, bytes).map_err(StoreError::Io)?;
+    Ok(())
 }
 
 // ---- durable wrapper ---------------------------------------------------
@@ -501,12 +565,38 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
     /// that wrote the store — determinism of replay depends on it.
     /// A snapshot lands every `checkpoint_every` finalizes (min 1).
     pub fn open<P: AsRef<Path>>(
-        mut inner: NerGlobalizer<T>,
+        inner: NerGlobalizer<T>,
         dir: P,
         checkpoint_every: usize,
     ) -> Result<(Self, RecoveryReport), DurableError> {
+        Self::open_with_fingerprint(inner, dir, checkpoint_every, None)
+    }
+
+    /// [`Self::open`] with a model-bundle fingerprint (any stable hash
+    /// of the bundle bytes). A new store adopts the fingerprint; an
+    /// existing store rejects a mismatching one with
+    /// [`DurableError::ModelMismatch`] *before* importing snapshots or
+    /// replaying the WAL — wrong models fail fast instead of as a
+    /// late digest mismatch. Stores written before fingerprints
+    /// existed adopt the current fingerprint on first open.
+    pub fn open_with_fingerprint<P: AsRef<Path>>(
+        mut inner: NerGlobalizer<T>,
+        dir: P,
+        checkpoint_every: usize,
+        fingerprint: Option<u64>,
+    ) -> Result<(Self, RecoveryReport), DurableError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(StoreError::Io)?;
+        if let Some(current) = fingerprint {
+            let meta = dir.join(MODEL_META_FILE);
+            match read_model_meta(&meta)? {
+                Some(stored) if stored != current => {
+                    return Err(DurableError::ModelMismatch { stored, current });
+                }
+                Some(_) => {}
+                None => write_model_meta(&meta, current)?,
+            }
+        }
         let snaps = SnapshotStore::open(&dir)?;
         let wal = Wal::open(&dir)?;
 
@@ -529,13 +619,46 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
         // `Wal::open` repairs (cuts) a torn active-segment tail before
         // replay sees it — surface either source of tearing.
         report.torn_tail = replay.torn_tail || wal.repaired_tail();
+        let mut records = Vec::with_capacity(replay.records.len());
         for raw in &replay.records {
-            let record = WalRecord::decode(raw.tag, &raw.payload)?;
+            records.push(WalRecord::decode(raw.tag, &raw.payload)?);
+        }
+
+        // Concurrent replay: batches must still *apply* one at a time
+        // in log order (barrier semantics, digest verification), but
+        // the encoder work inside them is order-free. Group the token
+        // vectors of every batch up to each Finalize barrier, so each
+        // group's encodes run concurrently on the pool before its
+        // batches are applied. Groups are best-effort — a memo miss
+        // just encodes inline, exactly as before.
+        let snap_seq = op_seq;
+        let mut groups: Vec<Vec<Vec<String>>> = vec![Vec::new()];
+        for record in &records {
+            match record {
+                WalRecord::Batch { op_seq, tweets, .. } if *op_seq > snap_seq => {
+                    let group = groups.last_mut().expect("one group always open");
+                    group.extend(tweets.iter().cloned());
+                }
+                WalRecord::Finalize { op_seq, .. } if *op_seq > snap_seq => {
+                    groups.push(Vec::new());
+                }
+                _ => {}
+            }
+        }
+        let mut groups = groups.into_iter();
+        let mut group: Vec<Vec<String>> = groups.next().unwrap_or_default();
+        let mut prewarmed = false;
+
+        for record in records {
             if record.op_seq() <= op_seq {
                 continue; // already inside the snapshot
             }
             match record {
                 WalRecord::Batch { op_seq: seq, ids, tweets } => {
+                    if !prewarmed {
+                        inner.prewarm_replay_encodes(std::mem::take(&mut group));
+                        prewarmed = true;
+                    }
                     match ids {
                         Some(ids) => {
                             let batch = ids.into_iter().zip(tweets).collect();
@@ -560,6 +683,10 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
                     }
                     op_seq = seq;
                     report.replayed_finalizes += 1;
+                    // Barrier crossed: this group's memo is spent.
+                    inner.clear_replay_memo();
+                    group = groups.next().unwrap_or_default();
+                    prewarmed = false;
                 }
                 WalRecord::Evict { first_retained, .. } => {
                     if inner.tweet_base().first_retained() as u64 != first_retained {
@@ -573,6 +700,9 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
                 WalRecord::Spill { .. } | WalRecord::Snapshot { .. } => {}
             }
         }
+
+        // Trailing unfinalized batches may have left a live memo.
+        inner.clear_replay_memo();
 
         report.watermark = inner.scan_watermark();
         report.surfaces = inner.n_surfaces();

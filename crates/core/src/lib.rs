@@ -42,7 +42,10 @@ pub mod train;
 pub use bases::{CandidateBase, CandidateCluster, MentionRecord, SurfaceEntry, TweetBase};
 pub use checkpoint::PipelineCheckpoint;
 pub use classifier::{CandidateExample, ClassifierConfig, EntityClassifier};
-pub use durable::{DurableError, DurableGlobalizer, RecoveryReport, SpillPool, StoreStats};
+pub use durable::{
+    model_fingerprint, DurableError, DurableGlobalizer, RecoveryReport, SpillPool, StoreStats,
+    SPILL_CACHE_ENV,
+};
 pub use persist::{GlobalizerBundle, PersistError};
 pub use phrase::{PhraseEmbedder, PhraseEmbedderConfig, PhraseLoss};
 pub use pipeline::{

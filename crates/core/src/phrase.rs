@@ -186,6 +186,26 @@ impl PhraseEmbedder {
         self.embed_pooled(&Self::pool(token_embeddings, span))
     }
 
+    /// Batch variant of [`Self::embed`]: pools every span and runs one
+    /// dense forward over the whole stack instead of one single-row
+    /// matmul per mention — the hot shape in the CTrie scan, where one
+    /// tweet yields many uncached mentions at once.
+    ///
+    /// Every kernel on this path (L2 norm, eval-mode batch norm, dense
+    /// matmul) is row-independent with a fixed per-row accumulation
+    /// order, so the outputs are **bitwise identical** to per-span
+    /// [`Self::embed`] calls.
+    pub fn embed_spans(&self, token_embeddings: &Matrix, spans: &[Span]) -> Vec<Vec<f32>> {
+        if spans.is_empty() {
+            return Vec::new();
+        }
+        let pooled: Vec<Vec<f32>> =
+            spans.iter().map(|s| Self::pool(token_embeddings, s)).collect();
+        let rows: Vec<&[f32]> = pooled.iter().map(|p| p.as_slice()).collect();
+        let y = self.forward_eval(&Matrix::from_rows(&rows));
+        (0..spans.len()).map(|i| ngl_nn::l2_normalized(y.row(i))).collect()
+    }
+
     /// Inference-mode forward (running batch-norm statistics), without
     /// the final normalization.
     fn forward_eval(&self, pooled: &Matrix) -> Matrix {

@@ -66,7 +66,6 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use ngl_cluster::agglomerative;
 use ngl_ctrie::CTrie;
 use ngl_encoder::ContextualTagger;
 use ngl_nn::Matrix;
@@ -258,6 +257,12 @@ pub struct NerGlobalizer<T: ContextualTagger> {
     /// [`Self::take_finalize_errors`]. Transient diagnostics — not part
     /// of checkpointed state.
     finalize_errors: Vec<TaskError>,
+    /// Pre-computed encodings keyed by *truncated* token vector,
+    /// installed during WAL replay (see
+    /// [`Self::prewarm_replay_encodes`]). Consulted before
+    /// [`ContextualTagger::encode`]; empty outside replay. Transient —
+    /// never checkpointed.
+    replay_memo: HashMap<Vec<String>, ngl_encoder::SentenceEncoding>,
 }
 
 impl<T: ContextualTagger + Clone> Clone for NerGlobalizer<T> {
@@ -277,6 +282,7 @@ impl<T: ContextualTagger + Clone> Clone for NerGlobalizer<T> {
             mention_cache: self.mention_cache.clone(),
             seen_ids: self.seen_ids.clone(),
             finalize_errors: self.finalize_errors.clone(),
+            replay_memo: self.replay_memo.clone(),
         }
     }
 }
@@ -310,6 +316,7 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
             mention_cache: HashMap::new(),
             seen_ids: BTreeSet::new(),
             finalize_errors: Vec::new(),
+            replay_memo: HashMap::new(),
         }
     }
 
@@ -445,11 +452,19 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
             .collect();
         let survivor_input: Vec<usize> = survivors.iter().map(|(i, _)| *i).collect();
         let local = &self.local;
+        let memo = &self.replay_memo;
         let encoded = self.exec.try_par_map_described(
             survivors,
             |(i, tokens)| format!("input #{i}: {}", summarize_tokens(tokens)),
             |_, (i, tokens)| {
-                let enc = local.encode(&tokens);
+                // During WAL replay a barrier group's encodings are
+                // pre-computed; the memo holds `local.encode` outputs
+                // keyed by the same truncated token vector, so hitting
+                // it is bitwise-identical to encoding here.
+                let enc = match memo.get(&tokens) {
+                    Some(enc) => enc.clone(),
+                    None => local.encode(&tokens),
+                };
                 let spans = decode_bio(&enc.tags);
                 (i, tokens, enc, spans)
             },
@@ -516,6 +531,54 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
         }
         self.timings.local += t0.elapsed();
         (BatchOutput { first_tweet, local_spans }, report)
+    }
+
+    /// Pre-encodes the unique token vectors of an upcoming group of
+    /// replayed batches concurrently on the executor, filling the
+    /// replay memo consulted by the batch ingestion path. WAL replay
+    /// applies batches one at a time to preserve barrier semantics;
+    /// small logged batches would otherwise leave the worker pool
+    /// mostly idle. Encoding a whole barrier group up front restores
+    /// full parallelism without reordering any state mutation.
+    ///
+    /// Token vectors are truncated to
+    /// [`GlobalizerConfig::max_tweet_tokens`] first — the same ingress
+    /// guard the batch path applies — so memo keys match lookups
+    /// exactly. Panicking encodes are skipped here and surface through
+    /// the usual fault-isolated path when their batch is applied.
+    pub fn prewarm_replay_encodes(&mut self, token_lists: Vec<Vec<String>>)
+    where
+        T: Sync,
+    {
+        let cap = self.cfg.max_tweet_tokens.max(1);
+        let mut unique: Vec<Vec<String>> = Vec::new();
+        let mut seen: std::collections::HashSet<Vec<String>> = std::collections::HashSet::new();
+        for mut tokens in token_lists {
+            if tokens.len() > cap {
+                tokens.truncate(cap);
+            }
+            if !self.replay_memo.contains_key(&tokens) && seen.insert(tokens.clone()) {
+                unique.push(tokens);
+            }
+        }
+        let local = &self.local;
+        let encoded = self.exec.try_par_map_described(
+            unique,
+            |tokens| summarize_tokens(tokens),
+            |_, tokens| {
+                let enc = local.encode(&tokens);
+                (tokens, enc)
+            },
+        );
+        for (tokens, enc) in encoded.into_iter().flatten() {
+            self.replay_memo.insert(tokens, enc);
+        }
+    }
+
+    /// Drops the replay memo (called at each replayed finalize
+    /// barrier, and once replay completes).
+    pub fn clear_replay_memo(&mut self) {
+        self.replay_memo = HashMap::new();
     }
 
     /// Runs the Global NER stages over everything processed so far and
@@ -809,17 +872,33 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
                 |&ti| format!("tweet #{ti}"),
                 |_, ti| {
                     let record = tweets.get(ti);
-                    ctrie
-                        .extract_mentions(&record.tokens, max_len)
-                        .into_iter()
-                        .map(|occ| {
-                            let local_emb = match cache.get(&(ti, occ.start, occ.end)) {
-                                Some(emb) => emb.clone(),
-                                None => {
-                                    let probe =
-                                        Span::new(occ.start, occ.end, EntityType::Person);
-                                    phrase.embed(&record.embeddings, &probe)
-                                }
+                    let occs = ctrie.extract_mentions(&record.tokens, max_len);
+                    // All cache-miss spans of one tweet go through a
+                    // single batched dense forward instead of one
+                    // single-row matmul each — bitwise identical per
+                    // [`PhraseEmbedder::embed_spans`]'s contract.
+                    let mut miss_spans: Vec<Span> = Vec::new();
+                    let mut miss_at: Vec<usize> = Vec::new();
+                    for (k, occ) in occs.iter().enumerate() {
+                        if !cache.contains_key(&(ti, occ.start, occ.end)) {
+                            miss_spans.push(Span::new(occ.start, occ.end, EntityType::Person));
+                            miss_at.push(k);
+                        }
+                    }
+                    let mut fresh =
+                        phrase.embed_spans(&record.embeddings, &miss_spans).into_iter();
+                    let mut miss_at = miss_at.into_iter().peekable();
+                    occs.into_iter()
+                        .enumerate()
+                        .map(|(k, occ)| {
+                            let local_emb = if miss_at.peek() == Some(&k) {
+                                miss_at.next();
+                                fresh.next().expect("one embedding per cache miss")
+                            } else {
+                                cache
+                                    .get(&(ti, occ.start, occ.end))
+                                    .expect("span cached")
+                                    .clone()
                             };
                             let local_type = record
                                 .local_spans
@@ -900,13 +979,23 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     /// `SurfaceEntry::clustered` bookkeeping).
     fn cluster_candidates(&mut self, mode: AblationMode) {
         let threshold = self.cfg.cluster_threshold;
-        let entries: Vec<&mut SurfaceEntry> = self
+        let exec = &self.exec;
+        // Giant surfaces would occupy one worker for the whole batch if
+        // they rode the per-surface fan-out, so they run here on the
+        // caller with the executor parallelizing *inside* the linkage
+        // scan instead. Each entry's result is a pure function of its
+        // own mention set, so the grouping cannot change outputs.
+        let (giant, small): (Vec<&mut SurfaceEntry>, Vec<&mut SurfaceEntry>) = self
             .candidates
             .iter_mut()
             .map(|(_, e)| e)
             .filter(|e| e.needs_recluster())
-            .collect();
-        self.exec.par_map(entries, |_, entry| {
+            .partition(|e| e.is_giant());
+        for entry in giant {
+            cluster_surface_exec(entry, mode, threshold, exec);
+            entry.clustered = entry.mentions.len();
+        }
+        exec.par_map(small, |_, entry| {
             cluster_surface(entry, mode, threshold);
             entry.clustered = entry.mentions.len();
         });
@@ -921,13 +1010,20 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     fn classify_candidates(&mut self, mode: AblationMode) {
         let classifier = &self.classifier;
         let min_confidence = self.cfg.min_confidence;
-        let entries: Vec<&mut SurfaceEntry> = self
+        let exec = &self.exec;
+        // Same split as `cluster_candidates`: giants score their
+        // cluster chunks on the whole pool instead of one worker.
+        let (giant, small): (Vec<&mut SurfaceEntry>, Vec<&mut SurfaceEntry>) = self
             .candidates
             .iter_mut()
             .map(|(_, e)| e)
             .filter(|e| e.needs_reclassify())
-            .collect();
-        self.exec.par_map(entries, |_, entry| {
+            .partition(|e| e.is_giant());
+        for entry in giant {
+            classify_surface_exec(entry, mode, classifier, min_confidence, exec);
+            entry.classified = entry.mentions.len();
+        }
+        exec.par_map(small, |_, entry| {
             classify_surface(entry, mode, classifier, min_confidence);
             entry.classified = entry.mentions.len();
         });
@@ -1171,6 +1267,20 @@ fn summarize_tokens(tokens: &[String]) -> String {
 /// [`SurfaceEntry`]); free function so the parallel fan-out borrows only
 /// the entry.
 fn cluster_surface(entry: &mut SurfaceEntry, mode: AblationMode, threshold: f32) {
+    cluster_surface_exec(entry, mode, threshold, &Executor::sequential())
+}
+
+/// [`cluster_surface`] with the agglomerative closest-pair scan spread
+/// over `exec` — used for giant surfaces, where the executor's workers
+/// parallelize *inside* the linkage instead of across surfaces. Output
+/// is bitwise identical at any thread count
+/// ([`ngl_cluster::agglomerative_exec`]'s contract).
+fn cluster_surface_exec(
+    entry: &mut SurfaceEntry,
+    mode: AblationMode,
+    threshold: f32,
+    exec: &Executor,
+) {
     entry.clusters.clear();
     if entry.mentions.is_empty() {
         return;
@@ -1184,7 +1294,7 @@ fn cluster_surface(entry: &mut SurfaceEntry, mode: AblationMode, threshold: f32)
         if entry.mentions.len() <= BATCH_CLUSTER_CAP {
             let points: Vec<&[f32]> =
                 entry.mentions.iter().map(|m| m.local_emb.as_slice()).collect();
-            let clustering = agglomerative(&points, threshold);
+            let clustering = ngl_cluster::agglomerative_exec(&points, threshold, exec);
             for group in clustering.groups() {
                 entry.clusters.push(CandidateCluster {
                     members: group,
@@ -1230,29 +1340,74 @@ fn classify_surface(
     // Split borrow: clusters vs mentions.
     let mentions = std::mem::take(&mut entry.mentions);
     for cluster in &mut entry.clusters {
-        match mode {
-            AblationMode::MentionExtraction => {
-                cluster.label = Some(majority_local_type(
-                    cluster.members.iter().map(|&m| mentions[m].local_type),
-                ));
-            }
-            AblationMode::FullGlobal => {
-                let rows: Vec<&[f32]> = cluster
-                    .members
-                    .iter()
-                    .map(|&m| mentions[m].local_emb.as_slice())
-                    .collect();
-                let locals = Matrix::from_rows(&rows);
-                cluster.global_emb = classifier.global_embedding(&locals);
-                cluster.label = Some(classifier.predict_confident(&locals, min_confidence));
-            }
-            AblationMode::LocalClassifier | AblationMode::LocalOnly => {
-                // Per-mention classification happens at emit time.
-                cluster.label = None;
-            }
-        }
+        score_cluster(cluster, mode, &mentions, classifier, min_confidence);
     }
     entry.mentions = mentions;
+}
+
+/// [`classify_surface`] with the per-cluster scoring spread over `exec`
+/// in contiguous cluster chunks — used for giant surfaces. Each
+/// cluster's `(global_emb, label)` is a pure function of its own
+/// members, so chunked execution is output-identical to the sequential
+/// loop at any thread count.
+fn classify_surface_exec(
+    entry: &mut SurfaceEntry,
+    mode: AblationMode,
+    classifier: &EntityClassifier,
+    min_confidence: f32,
+    exec: &Executor,
+) {
+    let mentions = std::mem::take(&mut entry.mentions);
+    let n = entry.clusters.len();
+    if n > 0 {
+        // Over-split relative to the thread count: cluster sizes are
+        // skewed, and dynamic scheduling evens smaller chunks out.
+        let chunk = n.div_ceil(exec.threads().max(1) * 4).max(1);
+        let chunks: Vec<&mut [CandidateCluster]> = entry.clusters.chunks_mut(chunk).collect();
+        let mentions = &mentions;
+        exec.par_map(chunks, |_, chunk| {
+            for cluster in chunk {
+                score_cluster(cluster, mode, mentions, classifier, min_confidence);
+            }
+        });
+    }
+    entry.mentions = mentions;
+}
+
+/// Pools and labels one candidate cluster (the per-cluster body of
+/// stages iv+v), reading mention embeddings from `mentions`.
+fn score_cluster(
+    cluster: &mut CandidateCluster,
+    mode: AblationMode,
+    mentions: &[MentionRecord],
+    classifier: &EntityClassifier,
+    min_confidence: f32,
+) {
+    match mode {
+        AblationMode::MentionExtraction => {
+            cluster.label = Some(majority_local_type(
+                cluster.members.iter().map(|&m| mentions[m].local_type),
+            ));
+        }
+        AblationMode::FullGlobal => {
+            let rows: Vec<&[f32]> = cluster
+                .members
+                .iter()
+                .map(|&m| mentions[m].local_emb.as_slice())
+                .collect();
+            let locals = Matrix::from_rows(&rows);
+            // One fused attention pass for both outputs — bitwise equal
+            // to the separate global_embedding + predict_confident
+            // calls it replaces.
+            let (global, label) = classifier.score_candidate(&locals, min_confidence);
+            cluster.global_emb = global;
+            cluster.label = Some(label);
+        }
+        AblationMode::LocalClassifier | AblationMode::LocalOnly => {
+            // Per-mention classification happens at emit time.
+            cluster.label = None;
+        }
+    }
 }
 
 /// Majority vote over the local types of a cluster's mentions; `None`

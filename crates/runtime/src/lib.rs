@@ -1,9 +1,9 @@
 //! # ngl-runtime
 //!
-//! A dependency-free scoped-thread parallel executor for the Globalizer
-//! pipeline's embarrassingly parallel stages (per-tweet encoding, the
-//! CTrie scan + phrase embedding, per-surface clustering and
-//! classification).
+//! A dependency-free parallel executor for the Globalizer pipeline's
+//! embarrassingly parallel stages (per-tweet encoding, the CTrie scan +
+//! phrase embedding, per-surface clustering and classification), built
+//! on a **persistent work-stealing worker pool** ([`pool`]).
 //!
 //! Design constraints, in priority order:
 //!
@@ -11,37 +11,46 @@
 //!    how the OS schedules workers, and with one worker the execution
 //!    is *exactly* the sequential loop (same call order, same thread).
 //!    Combined with per-item purity this makes parallel output bitwise
-//!    identical to sequential output.
-//! 2. **Zero dependencies** — built on [`std::thread::scope`], atomics
-//!    and mutexes only, so every crate in the workspace can use it
-//!    without pulling in a thread-pool ecosystem.
-//! 3. **Dynamic load balance** — workers pull the next item index from
+//!    identical to sequential output at any thread count.
+//! 2. **Zero dependencies** — built on [`std::thread`], atomics and
+//!    mutexes only, so every crate in the workspace can use it without
+//!    pulling in a thread-pool ecosystem.
+//! 3. **No per-call spawn cost** — workers are spawned once per
+//!    [`Executor`] and parked when idle; each `par_map` submits
+//!    *tickets* against the pool instead of spawning threads, so small
+//!    batches no longer pay thread-creation latency.
+//! 4. **Dynamic load balance** — workers pull the next item index from
 //!    a shared atomic counter, so skewed per-item costs (one surface
 //!    form with thousands of mentions next to hundreds of singletons)
-//!    don't serialize on the slowest static shard.
+//!    don't serialize on the slowest static shard; idle workers also
+//!    steal queued tickets from busy siblings' deques.
 //!
 //! Worker count comes from [`Executor::from_env`] (the `NGL_THREADS`
 //! environment variable, defaulting to the machine's available
-//! parallelism); `NGL_THREADS=1` is the exact sequential fallback.
+//! parallelism); `NGL_THREADS=1` is the exact sequential fallback and
+//! spawns no pool at all.
 //!
-//! A scoped panic in any worker propagates to the caller once the scope
-//! joins, so failures are never silently swallowed. For pipelines that
-//! must *survive* poison inputs instead, [`Executor::try_par_map`]
-//! isolates each task with [`std::panic::catch_unwind`] and turns a
-//! panicking task into a typed [`TaskError`] while every other task
-//! completes normally.
+//! A panic in any task propagates to the caller once the call's items
+//! drain — without killing any pool worker, so the executor stays
+//! usable afterwards. For pipelines that must *survive* poison inputs
+//! instead, [`Executor::try_par_map`] isolates each task with
+//! [`std::panic::catch_unwind`] and turns a panicking task into a typed
+//! [`TaskError`] while every other task completes normally.
 //!
 //! The [`faults`] module provides a deterministic, seedable fault plan
 //! for stress-testing pipelines built on this executor.
 
 pub mod faults;
+pub mod pool;
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use pool::{Pool, PoolStats};
 
 /// A task that panicked inside [`Executor::try_par_map`], captured as a
-/// value instead of tearing down the executor scope.
+/// value instead of tearing down the executor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskError {
     /// Input-order index of the failed task.
@@ -82,7 +91,8 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Environment variable controlling the default worker count.
 pub const THREADS_ENV: &str = "NGL_THREADS";
 
-/// A scoped-thread parallel executor with a fixed worker count.
+/// A parallel executor with a fixed worker count backed by a persistent
+/// work-stealing pool (clones share the same pool).
 ///
 /// ```
 /// use ngl_runtime::Executor;
@@ -93,9 +103,21 @@ pub const THREADS_ENV: &str = "NGL_THREADS";
 /// // One worker is the exact sequential loop.
 /// assert_eq!(squares, Executor::sequential().par_map((0..8usize).collect(), |_, x| x * x));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Executor {
     threads: usize,
+    /// `None` for the sequential executor (`threads <= 1`): no threads
+    /// are spawned and every call runs inline on the caller.
+    pool: Option<Arc<Pool>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
+            .field("pooled", &self.pool.is_some())
+            .finish()
+    }
 }
 
 impl Default for Executor {
@@ -106,8 +128,12 @@ impl Default for Executor {
 
 impl Executor {
     /// An executor with exactly `threads` workers (clamped to ≥ 1).
+    /// `threads - 1` pool workers are spawned once, here; the caller of
+    /// every map participates as the final worker.
     pub fn new(threads: usize) -> Self {
-        Self { threads: threads.max(1) }
+        let threads = threads.max(1);
+        let pool = if threads > 1 { Some(Arc::new(Pool::new(threads - 1))) } else { None };
+        Self { threads, pool }
     }
 
     /// The exact sequential fallback (one worker, no threads spawned).
@@ -133,13 +159,21 @@ impl Executor {
         self.threads
     }
 
+    /// Scheduler counters of the backing pool (`None` for the
+    /// sequential executor). Exposed for tests and benches.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool.as_ref().map(|p| p.stats())
+    }
+
     /// Maps `f` over owned `items`, returning results **in input
     /// order**. `f` receives `(index, item)`.
     ///
     /// With one worker (or ≤ 1 item) this runs inline on the calling
     /// thread with no synchronization — the exact sequential loop.
-    /// Otherwise items are pulled dynamically by `min(threads, len)`
-    /// scoped workers; a panicking `f` propagates to the caller.
+    /// Otherwise items are pulled dynamically by up to
+    /// `min(threads, len)` workers of the persistent pool (caller
+    /// included); a panicking `f` propagates to the caller after the
+    /// call drains, leaving the pool fully reusable.
     pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
@@ -148,34 +182,45 @@ impl Executor {
     {
         let n = items.len();
         let workers = self.threads.min(n);
-        if workers <= 1 {
-            return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
-        }
+        let pool = match &self.pool {
+            Some(p) if workers > 1 => p,
+            _ => return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect(),
+        };
         // Item slots are taken exactly once (dynamic scheduling via the
         // shared counter); result slots are written exactly once and
-        // drained in input order after the scope joins.
-        let slots: Vec<Mutex<Option<T>>> =
-            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        // drained in input order after the pool call returns.
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-        let f = &f;
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let item = slots[i]
-                        .lock()
-                        .expect("item slot poisoned")
-                        .take()
-                        .expect("item taken once");
-                    let r = f(i, item);
-                    *results[i].lock().expect("result slot poisoned") = Some(r);
-                });
+        // First panic wins; the counter is then exhausted so the call
+        // stops scheduling further items instead of wasting work.
+        let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let pull = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
             }
-        });
+            let item = slots[i]
+                .lock()
+                .expect("item slot poisoned")
+                .take()
+                .expect("item taken once");
+            match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                Ok(r) => *results[i].lock().expect("result slot poisoned") = Some(r),
+                Err(p) => {
+                    let mut g = panicked.lock().expect("panic slot poisoned");
+                    if g.is_none() {
+                        *g = Some(p);
+                    }
+                    drop(g);
+                    next.store(n, Ordering::Relaxed);
+                }
+            }
+        };
+        pool.run(workers - 1, &pull);
+        if let Some(p) = panicked.into_inner().expect("panic slot poisoned") {
+            resume_unwind(p);
+        }
         results
             .into_iter()
             .map(|m| {
@@ -242,35 +287,31 @@ impl Executor {
         };
         let n = items.len();
         let workers = self.threads.min(n);
-        if workers <= 1 {
-            return items.into_iter().enumerate().map(|(i, t)| run(i, t)).collect();
-        }
-        let slots: Vec<Mutex<Option<T>>> =
-            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let pool = match &self.pool {
+            Some(p) if workers > 1 => p,
+            _ => return items.into_iter().enumerate().map(|(i, t)| run(i, t)).collect(),
+        };
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let results: Vec<Mutex<Option<Result<R, TaskError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let run = &run;
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let item = slots[i]
-                        .lock()
-                        .expect("item slot poisoned")
-                        .take()
-                        .expect("item taken once");
-                    // `run` never unwinds (panics are caught inside),
-                    // so the worker loop survives poison items and the
-                    // result slot is always written.
-                    let r = run(i, item);
-                    *results[i].lock().expect("result slot poisoned") = Some(r);
-                });
+        // `run` never unwinds (panics are caught inside), so the pull
+        // loop survives poison items and every result slot is written.
+        let pull = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
             }
-        });
+            let item = slots[i]
+                .lock()
+                .expect("item slot poisoned")
+                .take()
+                .expect("item taken once");
+            let r = run(i, item);
+            *results[i].lock().expect("result slot poisoned") = Some(r);
+        };
+        pool.run(workers - 1, &pull);
         results
             .into_iter()
             .map(|m| {
@@ -406,6 +447,58 @@ mod tests {
     }
 
     #[test]
+    fn executor_is_reusable_after_par_map_panic() {
+        // A panicking task must not kill pool workers: the same
+        // executor keeps producing correct, ordered results afterwards.
+        let exec = Executor::new(4);
+        for round in 0..3 {
+            let bad = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                exec.par_map((0..32usize).collect(), |_, x| {
+                    if x == 5 {
+                        panic!("round {round} poison");
+                    }
+                    x
+                })
+            }));
+            assert!(bad.is_err());
+            let ok = exec.par_map((0..32usize).collect(), |_, x| x + round);
+            assert_eq!(ok, (0..32usize).map(|x| x + round).collect::<Vec<_>>());
+        }
+        assert_eq!(exec.pool_stats().expect("pooled").workers, 3);
+    }
+
+    #[test]
+    fn clones_share_one_pool() {
+        let a = Executor::new(3);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(a.pool.as_ref().unwrap(), b.pool.as_ref().unwrap()));
+        let out_a = a.par_map((0..40usize).collect(), |_, x| x * 2);
+        let out_b = b.par_map((0..40usize).collect(), |_, x| x * 2);
+        assert_eq!(out_a, out_b);
+        // The sequential executor spawns no pool at all.
+        assert!(Executor::sequential().pool.is_none());
+        assert!(Executor::sequential().pool_stats().is_none());
+    }
+
+    #[test]
+    fn uneven_workloads_do_not_serialize_items_behind_one_ticket() {
+        // One slow item next to many fast ones: the atomic-counter
+        // schedule still runs every item exactly once with results in
+        // order, whichever workers show up.
+        let exec = Executor::new(4);
+        let count = AtomicUsize::new(0);
+        let out = exec.par_map((0..64usize).collect(), |_, x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+        assert_eq!(out, (0..64usize).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn try_par_map_isolates_panics_per_task() {
         for threads in [1, 4] {
             let out = Executor::new(threads).try_par_map((0..64usize).collect(), |_, x| {
@@ -516,6 +609,18 @@ mod tests {
     fn nested_par_map_does_not_deadlock() {
         let exec = Executor::new(2);
         let inner = Executor::new(2);
+        let out = exec.par_map((0..8usize).collect(), |_, x| {
+            inner.par_map((0..4usize).collect(), |_, y| x * y).iter().sum::<usize>()
+        });
+        assert_eq!(out, (0..8usize).map(|x| x * 6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_par_map_on_shared_pool_does_not_deadlock() {
+        // Inner calls submit against the *same* saturated pool; caller
+        // participation keeps them draining even if no worker is free.
+        let exec = Executor::new(2);
+        let inner = exec.clone();
         let out = exec.par_map((0..8usize).collect(), |_, x| {
             inner.par_map((0..4usize).collect(), |_, y| x * y).iter().sum::<usize>()
         });

@@ -459,13 +459,103 @@ impl SnapshotStore {
 /// Spill entries are transient (rebuilt from resident state whenever the
 /// process restarts or a snapshot is cut), so the file supports
 /// [`SpillFile::reset`] instead of compaction.
+///
+/// Reads go through an **LRU page cache** (fixed [`SPILL_PAGE`]-byte
+/// pages, byte budget configurable via
+/// [`SpillFile::set_page_cache_budget`]): rehydration-heavy workloads
+/// re-read neighbouring entries of the same surface working set, and
+/// the cache turns those from one `seek` + `read` per CTrie match into
+/// memory copies. Append-only writes keep every page below the old EOF
+/// immutable; the single partially-filled EOF page is invalidated on
+/// [`SpillFile::append`] and the whole cache on [`SpillFile::reset`],
+/// so a cached read can never be stale. Checksum verification is
+/// unchanged — cached bytes still have to match their frame checksum.
 pub struct SpillFile {
     file: File,
     len: u64,
+    cache: PageCache,
 }
 
 /// Frame header of one spill entry: `len u32 | checksum u64`.
 const SPILL_HEADER: usize = 4 + 8;
+
+/// Fixed page size of the [`SpillFile`] read cache.
+pub const SPILL_PAGE: usize = 4096;
+
+/// Default [`SpillFile`] page-cache budget in bytes (64 pages).
+pub const DEFAULT_SPILL_CACHE_BYTES: usize = 64 * SPILL_PAGE;
+
+/// LRU page cache over a [`SpillFile`]'s contents. Recency is tracked
+/// with a monotone stamp per page; eviction scans for the minimum —
+/// the page count is small (budget / 4 KiB), so the scan is cheap and
+/// keeps the structure dependency-free.
+struct PageCache {
+    budget: usize,
+    pages: BTreeMap<u64, (Vec<u8>, u64)>,
+    bytes: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PageCache {
+    fn new(budget: usize) -> Self {
+        Self { budget, pages: BTreeMap::new(), bytes: 0, clock: 0, hits: 0, misses: 0 }
+    }
+
+    /// The cached page, stamping recency on hit.
+    fn get(&mut self, ix: u64) -> Option<&[u8]> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.pages.get_mut(&ix) {
+            Some((page, stamp)) => {
+                *stamp = clock;
+                self.hits += 1;
+                Some(page.as_slice())
+            }
+            None => None,
+        }
+    }
+
+    /// Caches a freshly loaded page, evicting least-recently-used pages
+    /// down to the byte budget (the new page itself always stays).
+    fn insert(&mut self, ix: u64, page: Vec<u8>) {
+        self.misses += 1;
+        self.clock += 1;
+        self.bytes += page.len();
+        self.pages.insert(ix, (page, self.clock));
+        while self.bytes > self.budget && self.pages.len() > 1 {
+            let oldest = self
+                .pages
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(&k, _)| k)
+                .expect("non-empty cache");
+            if oldest == ix {
+                break;
+            }
+            if let Some((page, _)) = self.pages.remove(&oldest) {
+                self.bytes -= page.len();
+            }
+        }
+    }
+
+    /// Drops every page with index ≥ `from_page` — the append-path
+    /// invalidation for the partially filled EOF page.
+    fn invalidate_from(&mut self, from_page: u64) {
+        let stale: Vec<u64> = self.pages.range(from_page..).map(|(&k, _)| k).collect();
+        for k in stale {
+            if let Some((page, _)) = self.pages.remove(&k) {
+                self.bytes -= page.len();
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.pages.clear();
+        self.bytes = 0;
+    }
+}
 
 impl SpillFile {
     /// Opens (or creates) the spill file at `path`, truncating any
@@ -481,7 +571,41 @@ impl SpillFile {
             .write(true)
             .truncate(true)
             .open(path)?;
-        Ok(Self { file, len: 0 })
+        Ok(Self { file, len: 0, cache: PageCache::new(DEFAULT_SPILL_CACHE_BYTES) })
+    }
+
+    /// Sets the page-cache byte budget. A budget of `0` disables the
+    /// cache entirely — every read goes straight to the file, exactly
+    /// the pre-cache behaviour. Shrinking the budget evicts down to it
+    /// immediately.
+    pub fn set_page_cache_budget(&mut self, bytes: usize) {
+        self.cache.budget = bytes;
+        if bytes == 0 {
+            self.cache.clear();
+        } else {
+            while self.cache.bytes > bytes && self.cache.pages.len() > 1 {
+                let oldest = self
+                    .cache
+                    .pages
+                    .iter()
+                    .min_by_key(|(_, (_, stamp))| *stamp)
+                    .map(|(&k, _)| k)
+                    .expect("non-empty cache");
+                if let Some((page, _)) = self.cache.pages.remove(&oldest) {
+                    self.cache.bytes -= page.len();
+                }
+            }
+        }
+    }
+
+    /// `(hits, misses)` of the page cache since the file was opened.
+    pub fn page_cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits, self.cache.misses)
+    }
+
+    /// Bytes currently held by cached pages.
+    pub fn page_cache_resident_bytes(&self) -> usize {
+        self.cache.bytes
     }
 
     /// Bytes currently in the file.
@@ -504,6 +628,10 @@ impl SpillFile {
         frame.extend_from_slice(payload);
         self.file.seek(SeekFrom::Start(offset))?;
         self.file.write_all(&frame)?;
+        // Every page strictly below the old EOF is immutable in an
+        // append-only file; only the partially filled EOF page (if any)
+        // now holds different bytes than a cached copy would.
+        self.cache.invalidate_from(offset / SPILL_PAGE as u64);
         self.len += frame.len() as u64;
         Ok(offset)
     }
@@ -513,20 +641,62 @@ impl SpillFile {
         if offset + SPILL_HEADER as u64 > self.len {
             return Err(StoreError::Corrupt("spill offset out of range"));
         }
-        self.file.seek(SeekFrom::Start(offset))?;
-        let mut header = [0u8; SPILL_HEADER];
-        self.file.read_exact(&mut header)?;
+        let header = self.read_span(offset, SPILL_HEADER)?;
         let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
         let checksum = u64::from_le_bytes(header[4..12].try_into().unwrap());
         if len > MAX_PAYLOAD || offset + (SPILL_HEADER + len) as u64 > self.len {
             return Err(StoreError::Corrupt("spill entry length out of range"));
         }
-        let mut payload = vec![0u8; len];
-        self.file.read_exact(&mut payload)?;
+        let payload = self.read_span(offset + SPILL_HEADER as u64, len)?;
         if fnv1a64(&payload) != checksum {
             return Err(StoreError::Corrupt("spill entry checksum mismatch"));
         }
         Ok(payload)
+    }
+
+    /// Reads `len` bytes starting at `offset`, assembling the span from
+    /// cached pages (loading misses from disk). With a zero budget this
+    /// degenerates to a single positional read.
+    fn read_span(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
+        if self.cache.budget == 0 {
+            let mut buf = vec![0u8; len];
+            self.file.seek(SeekFrom::Start(offset))?;
+            self.file.read_exact(&mut buf)?;
+            return Ok(buf);
+        }
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        let end = offset + len as u64;
+        while pos < end {
+            let page_ix = pos / SPILL_PAGE as u64;
+            let within = (pos % SPILL_PAGE as u64) as usize;
+            let take = ((end - pos) as usize).min(SPILL_PAGE - within);
+            if self.cache.get(page_ix).is_none() {
+                let page = self.load_page(page_ix)?;
+                self.cache.insert(page_ix, page);
+            }
+            let (page, _) = self.cache.pages.get(&page_ix).expect("page just cached");
+            if within + take > page.len() {
+                return Err(StoreError::Corrupt("spill read past end of file"));
+            }
+            out.extend_from_slice(&page[within..within + take]);
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+
+    /// Loads one page from disk. The final page of the file is short —
+    /// its length is whatever remains before the current EOF.
+    fn load_page(&mut self, page_ix: u64) -> Result<Vec<u8>, StoreError> {
+        let start = page_ix * SPILL_PAGE as u64;
+        if start >= self.len {
+            return Err(StoreError::Corrupt("spill page out of range"));
+        }
+        let len = (SPILL_PAGE as u64).min(self.len - start) as usize;
+        let mut page = vec![0u8; len];
+        self.file.seek(SeekFrom::Start(start))?;
+        self.file.read_exact(&mut page)?;
+        Ok(page)
     }
 
     /// Discards all entries (used when every spilled surface has been
@@ -534,6 +704,7 @@ impl SpillFile {
     pub fn reset(&mut self) -> Result<(), StoreError> {
         self.file.set_len(0)?;
         self.len = 0;
+        self.cache.clear();
         Ok(())
     }
 }
@@ -746,6 +917,84 @@ mod tests {
         spill.reset().unwrap();
         assert!(spill.is_empty());
         assert!(spill.read(a).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_page_cache_serves_repeat_reads_from_memory() {
+        let dir = tmpdir("spill-cache-hits");
+        let mut spill = SpillFile::open(dir.join("spill.dat")).unwrap();
+        let a = spill.append(&[0x11; 64]).unwrap();
+        let b = spill.append(&[0x22; 64]).unwrap();
+        assert_eq!(spill.read(a).unwrap(), vec![0x11; 64]);
+        let (_, misses_after_first) = spill.page_cache_stats();
+        assert!(misses_after_first >= 1, "first read must load the page");
+        // Both entries live on the same 4 KiB page: every subsequent
+        // read is a pure cache hit.
+        for _ in 0..5 {
+            assert_eq!(spill.read(b).unwrap(), vec![0x22; 64]);
+            assert_eq!(spill.read(a).unwrap(), vec![0x11; 64]);
+        }
+        let (hits, misses) = spill.page_cache_stats();
+        assert_eq!(misses, misses_after_first, "repeat reads must not touch disk");
+        assert!(hits >= 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_append_invalidates_the_partial_tail_page() {
+        let dir = tmpdir("spill-cache-tail");
+        let mut spill = SpillFile::open(dir.join("spill.dat")).unwrap();
+        let a = spill.append(&[0xAA; 40]).unwrap();
+        // Cache the (short, partial) tail page...
+        assert_eq!(spill.read(a).unwrap(), vec![0xAA; 40]);
+        // ...then grow the file: the entry landing on that same page
+        // must be readable, i.e. the stale cached copy was dropped.
+        let b = spill.append(&[0xBB; 40]).unwrap();
+        assert_eq!(spill.read(b).unwrap(), vec![0xBB; 40]);
+        assert_eq!(spill.read(a).unwrap(), vec![0xAA; 40]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_page_cache_respects_its_byte_budget() {
+        let dir = tmpdir("spill-cache-budget");
+        let mut spill = SpillFile::open(dir.join("spill.dat")).unwrap();
+        spill.set_page_cache_budget(2 * SPILL_PAGE);
+        let offsets: Vec<u64> =
+            (0..8).map(|i| spill.append(&vec![i as u8; SPILL_PAGE]).unwrap()).collect();
+        for &off in &offsets {
+            spill.read(off).unwrap();
+            assert!(
+                spill.page_cache_resident_bytes() <= 2 * SPILL_PAGE + SPILL_PAGE,
+                "resident {} exceeded budget + one in-flight page",
+                spill.page_cache_resident_bytes()
+            );
+        }
+        // Shrinking the budget evicts immediately; zero disables caching.
+        spill.set_page_cache_budget(0);
+        assert_eq!(spill.page_cache_resident_bytes(), 0);
+        let (_, misses_before) = spill.page_cache_stats();
+        for (i, &off) in offsets.iter().enumerate() {
+            assert_eq!(spill.read(off).unwrap(), vec![i as u8; SPILL_PAGE]);
+        }
+        let (_, misses_after) = spill.page_cache_stats();
+        assert_eq!(misses_before, misses_after, "budget 0 must bypass the cache");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_reset_clears_cached_pages() {
+        let dir = tmpdir("spill-cache-reset");
+        let mut spill = SpillFile::open(dir.join("spill.dat")).unwrap();
+        let a = spill.append(&[0xCC; 100]).unwrap();
+        assert_eq!(spill.read(a).unwrap(), vec![0xCC; 100]);
+        assert!(spill.page_cache_resident_bytes() > 0);
+        spill.reset().unwrap();
+        assert_eq!(spill.page_cache_resident_bytes(), 0);
+        // New contents after reset are served correctly (no stale page).
+        let b = spill.append(&[0xDD; 100]).unwrap();
+        assert_eq!(spill.read(b).unwrap(), vec![0xDD; 100]);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

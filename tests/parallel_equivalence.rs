@@ -186,6 +186,67 @@ proptest! {
     }
 }
 
+/// The pooled-executor contract under sharing and skew: one executor
+/// clone (clones share the persistent worker pool) drives pipelines
+/// across all ablation modes while a skewed stream pushes two surfaces
+/// past the giant-surface threshold — so the intra-surface parallel
+/// clustering and classification paths run — and everything stays
+/// bitwise identical to the exact sequential execution.
+#[test]
+fn shared_pool_with_giant_surfaces_is_bitwise_identical_to_sequential() {
+    // 10 batches × 16 tweets, every tweet mentioning "Beshear" and
+    // "Louisville": both surfaces end far beyond the 128-mention
+    // giant threshold while staying under the online-clustering cap.
+    let batches: Vec<Vec<Vec<String>>> = (0..10)
+        .map(|b| {
+            (0..16)
+                .map(|i| {
+                    vec![
+                        "Beshear".to_string(),
+                        VOCAB[(b * 16 + i) % VOCAB.len()].to_string(),
+                        "Louisville".to_string(),
+                        format!("w{}", (b * 16 + i) % 7),
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+
+    let shared = Executor::new(4);
+    for mode in ALL_MODES {
+        let mut seq = pipeline(mode, Executor::sequential());
+        let mut par = pipeline(mode, shared.clone());
+        for batch in &batches {
+            let a = seq.process_batch(batch);
+            let b = par.process_batch(batch);
+            assert_eq!(a.local_spans, b.local_spans, "local spans diverge in {mode:?}");
+            assert_eq!(seq.finalize(), par.finalize(), "outputs diverge in {mode:?}");
+        }
+        assert_eq!(
+            state_fingerprint(&seq),
+            state_fingerprint(&par),
+            "state diverges in {mode:?}"
+        );
+    }
+    // The skew actually crossed the giant threshold (both pipelines
+    // agree, so checking one suffices).
+    let mut probe = pipeline(AblationMode::FullGlobal, shared);
+    for batch in &batches {
+        probe.process_batch(batch);
+    }
+    probe.finalize();
+    let giant_mentions = probe
+        .candidate_base()
+        .iter()
+        .map(|(_, e)| e.mentions.len())
+        .max()
+        .unwrap_or(0);
+    assert!(
+        giant_mentions >= 128,
+        "stream must produce a giant surface (max mentions: {giant_mentions})"
+    );
+}
+
 /// Deterministic (non-property) regression: a stream where later
 /// batches seed surfaces that occur in earlier tweets, so incremental
 /// finalize has to survive CTrie version bumps mid-stream.

@@ -17,8 +17,8 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use ner_globalizer::core::{
-    AblationMode, ClassifierConfig, DurableGlobalizer, EntityClassifier, GlobalizerConfig,
-    NerGlobalizer, PhraseEmbedder, PhraseEmbedderConfig,
+    AblationMode, ClassifierConfig, DurableError, DurableGlobalizer, EntityClassifier,
+    GlobalizerConfig, NerGlobalizer, PhraseEmbedder, PhraseEmbedderConfig,
 };
 use ner_globalizer::encoder::{ContextualTagger, SentenceEncoding, SequenceTagger};
 use ner_globalizer::nn::Matrix;
@@ -246,6 +246,98 @@ fn kill_at_any_byte_recovers_a_bitwise_identical_prefix_with_snapshots() {
     // Snapshot (and compact) every 3 finalizes: recovery = newest
     // surviving snapshot + the WAL suffix, never below the snapshot.
     sweep("snap", 3);
+}
+
+/// A long unsnapshotted WAL suffix — several batches per finalize
+/// barrier plus trailing unfinalized batches — is the case the
+/// concurrent (prewarm-encode) replay path exists for. Recovery must
+/// still land bitwise on the clean state at every thread count.
+#[test]
+fn long_unsnapshotted_suffix_replays_concurrently_to_the_clean_state() {
+    let root = scratch_root("suffix");
+    let dir = root.join("store");
+    let stream = gen_stream(0x5EED, 11 * BATCH);
+
+    // Cadence far beyond the stream: no snapshots, replay carries the
+    // whole history. Three batches land between consecutive finalizes;
+    // the last two batches are never finalized.
+    let (mut durable, _) = DurableGlobalizer::open(pipeline(1), &dir, 1000).expect("open");
+    for (i, chunk) in stream.chunks(BATCH).enumerate() {
+        let (_, report) = durable.process_batch(chunk.to_vec()).expect("batch");
+        assert!(report.all_ok());
+        if i % 3 == 2 && i < 9 {
+            durable.finalize().expect("finalize");
+        }
+    }
+    let expected = durable.inner().export_state_bytes().to_vec();
+    let expected_digest = durable.inner().state_digest();
+    let batches = stream.chunks(BATCH).count();
+    drop(durable);
+
+    for threads in [1, 4] {
+        let (recovered, report) =
+            DurableGlobalizer::open(pipeline(threads), &dir, 1000).expect("reopen");
+        assert_eq!(report.replayed_batches, batches, "{threads}t: all batches replayed");
+        assert_eq!(report.replayed_finalizes, 3, "{threads}t: all barriers replayed");
+        assert!(report.snapshot_seq.is_none(), "{threads}t: pure replay by construction");
+        assert_eq!(report.digest, expected_digest, "{threads}t: digest");
+        assert_eq!(
+            recovered.inner().export_state_bytes().as_ref(),
+            &expected[..],
+            "{threads}t: recovered state must be bitwise identical to the clean run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A store is bound to the model bundle that wrote it: reopening with
+/// a different fingerprint is a typed, immediate error — not a digest
+/// mismatch deep into replay.
+#[test]
+fn mismatched_model_fingerprint_fails_fast() {
+    let root = scratch_root("fingerprint");
+    let dir = root.join("store");
+    let stream = gen_stream(0xFA57, 2 * BATCH);
+
+    let (mut durable, _) =
+        DurableGlobalizer::open_with_fingerprint(pipeline(1), &dir, 1000, Some(0xAAAA))
+            .expect("create");
+    for chunk in stream.chunks(BATCH) {
+        durable.process_batch(chunk.to_vec()).expect("batch");
+        durable.finalize().expect("finalize");
+    }
+    drop(durable);
+
+    // Same fingerprint: opens and replays.
+    let (same, report) =
+        DurableGlobalizer::open_with_fingerprint(pipeline(1), &dir, 1000, Some(0xAAAA))
+            .expect("reopen with matching fingerprint");
+    assert_eq!(report.replayed_batches, 2);
+    drop(same);
+
+    // Different fingerprint: typed rejection carrying both hashes.
+    match DurableGlobalizer::open_with_fingerprint(pipeline(1), &dir, 1000, Some(0xBBBB)) {
+        Err(DurableError::ModelMismatch { stored, current }) => {
+            assert_eq!(stored, 0xAAAA);
+            assert_eq!(current, 0xBBBB);
+        }
+        Err(other) => panic!("expected ModelMismatch, got: {other}"),
+        Ok(_) => panic!("mismatched fingerprint must be rejected"),
+    }
+
+    // Pre-fingerprint stores (no meta file) adopt the current
+    // fingerprint on first open, then enforce it.
+    std::fs::remove_file(dir.join("model.meta")).expect("drop meta");
+    let (adopted, _) =
+        DurableGlobalizer::open_with_fingerprint(pipeline(1), &dir, 1000, Some(0xCCCC))
+            .expect("legacy store adopts the fingerprint");
+    drop(adopted);
+    match DurableGlobalizer::open_with_fingerprint(pipeline(1), &dir, 1000, Some(0xAAAA)) {
+        Err(DurableError::ModelMismatch { stored: 0xCCCC, current: 0xAAAA }) => {}
+        Err(other) => panic!("expected ModelMismatch after adoption, got: {other}"),
+        _ => panic!("adopted fingerprint must be enforced"),
+    }
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 #[test]
