@@ -1,0 +1,75 @@
+//! Fused vector-kernel microbenchmarks: the scalar vs SIMD dot product,
+//! the one-vs-many cosine block scan against a per-pair loop, and the
+//! i8-quantized dot against its f32 counterpart. These are the
+//! primitives under every hot stage (clustering, pooling, classifier),
+//! so their ns/iter is the floor for pipeline throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ngl_nn::kernels::{self, KernelMode, QuantizedVec};
+
+const DIM: usize = 64;
+
+fn vectors(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    // SplitMix64-style generator: self-contained, deterministic.
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|_| (0..DIM).map(|_| (next() % 2000) as f32 / 1000.0 - 1.0).collect())
+        .collect()
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/dot");
+    let v = vectors(2, 11);
+    let (a, b) = (&v[0], &v[1]);
+    for mode in [KernelMode::Scalar, KernelMode::Simd] {
+        kernels::set_kernel_mode(mode);
+        let f = kernels::dot_fn();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}").to_lowercase()),
+            &mode,
+            |bch, _| bch.iter(|| f(black_box(a), black_box(b))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_cosine_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/cosine_block");
+    group.sample_size(30);
+    let rows = vectors(512, 23);
+    let q = vectors(1, 29).remove(0);
+    for mode in [KernelMode::Scalar, KernelMode::Simd] {
+        kernels::set_kernel_mode(mode);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}").to_lowercase()),
+            &mode,
+            |bch, _| bch.iter(|| kernels::cosine_best_of(black_box(&q), black_box(&rows))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_quantized_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/quantized_dot");
+    let v = vectors(2, 37);
+    let (a, b) = (&v[0], &v[1]);
+    let (qa, qb) = (QuantizedVec::quantize(a), QuantizedVec::quantize(b));
+    kernels::set_kernel_mode(KernelMode::Simd);
+    let f = kernels::dot_fn();
+    group.bench_function("f32", |bch| bch.iter(|| f(black_box(a), black_box(b))));
+    group.bench_function("i8", |bch| {
+        bch.iter(|| kernels::dot_quantized(black_box(&qa), black_box(&qb)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dot, bench_cosine_block, bench_quantized_dot);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! reproduce [--quick] [--seed N] [--timings-json PATH]
 //!           [--store-dir PATH] [--checkpoint-every N] [section ...]
 //! sections: table1 table2 table3 table4 table5 fig3 fig4
-//!           casestudy errors emd ablations store parallel;
+//!           casestudy errors emd ablations store parallel kernels;
 //!           "all" (default) runs the paper artifacts (ablations must
 //!           be requested explicitly)
 //! ```
@@ -32,6 +32,15 @@
 //! the experiment build entirely. The rows land in the timings JSON
 //! under `"parallel"` (conventionally uploaded as
 //! `BENCH_parallel.json`).
+//!
+//! The `kernels` section (also forced by `--timings-json`) runs the
+//! fused-kernel benchmarks — the one-vs-many cosine block scan against
+//! the naive per-pair loop, and the i8-quantized storage footprint
+//! against f32 — and likewise needs no trained experiment. The rows
+//! land in the timings JSON under `"kernels"` (conventionally uploaded
+//! as `BENCH_kernels.json`). The run *asserts* the quantized payload
+//! stays ≤ 0.30 of f32, and (on multicore hosts only, where timings
+//! are trustworthy) that the block scan beats the naive loop.
 
 use std::time::Instant;
 
@@ -45,6 +54,7 @@ fn write_timings_json(
     runs: &tables::EvalRuns,
     store: Option<&tables::StoreBenchResult>,
     parallel: Option<&tables::ParallelBenchResult>,
+    kernels: Option<&tables::KernelBenchResult>,
 ) {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -71,7 +81,9 @@ fn write_timings_json(
             ",\n  \"store\": {{\"tweets\": {}, \"batches\": {}, \
              \"delta_bytes_avg\": {:.1}, \"delta_bytes_last\": {}, \
              \"snapshot_bytes_last\": {}, \"wal_bytes_total\": {}, \
-             \"snapshots\": {}, \"sublinear\": {}}}",
+             \"snapshots\": {}, \"sublinear\": {}, \
+             \"snapshot_q_bytes\": {}, \"snapshot_f32_bytes\": {}, \
+             \"spill_bytes\": {}}}",
             s.tweets,
             s.batches,
             s.delta_bytes_avg,
@@ -80,6 +92,9 @@ fn write_timings_json(
             s.wal_bytes_total,
             s.snapshots,
             s.sublinear,
+            s.snapshot_q_bytes,
+            s.snapshot_f32_bytes,
+            s.spill_bytes,
         ));
     }
     if let Some(p) = parallel {
@@ -98,6 +113,25 @@ fn write_timings_json(
             p.giant_4t_s,
             p.giant_speedup,
             p.parallelism,
+        ));
+    }
+    if let Some(k) = kernels {
+        out.push_str(&format!(
+            ",\n  \"kernels\": {{\"rows\": {}, \"dim\": {}, \"reps\": {}, \
+             \"naive_scan_s\": {:.6}, \"block_scan_s\": {:.6}, \
+             \"kernel_speedup\": {:.3}, \"quantized_bytes\": {}, \
+             \"f32_bytes\": {}, \"quantized_bytes_ratio\": {:.4}, \
+             \"parallelism\": {}}}",
+            k.rows,
+            k.dim,
+            k.reps,
+            k.naive_scan_s,
+            k.block_scan_s,
+            k.kernel_speedup,
+            k.quantized_bytes,
+            k.f32_bytes,
+            k.quantized_bytes_ratio,
+            k.parallelism,
         ));
     }
     out.push_str("\n}\n");
@@ -150,7 +184,7 @@ fn main() {
     }
     const KNOWN: &[&str] = &[
         "all", "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "casestudy",
-        "errors", "emd", "ablations", "store", "parallel",
+        "errors", "emd", "ablations", "store", "parallel", "kernels",
     ];
     if let Some(bad) = sections.iter().find(|s| !KNOWN.contains(&s.as_str())) {
         eprintln!("unknown section {bad:?}; known sections: {}", KNOWN.join(" "));
@@ -158,17 +192,51 @@ fn main() {
     }
     let want = |s: &str| sections.iter().any(|x| x == s || x == "all");
 
-    // `parallel` alone needs no trained models — skip the (expensive)
-    // experiment build and exit once the bench rows are printed.
+    // `parallel` / `kernels` alone need no trained models — skip the
+    // (expensive) experiment build and exit once the bench rows are
+    // printed.
     let run_parallel = sections.iter().any(|s| s == "parallel") || timings_json.is_some();
-    if run_parallel
-        && timings_json.is_none()
-        && store_dir.is_none()
-        && sections.iter().all(|s| s == "parallel")
-    {
-        eprintln!("[reproduce] running persistent-executor tail benchmarks...");
+    let run_kernels = sections.iter().any(|s| s == "kernels") || timings_json.is_some();
+    let run_kernel_section = || {
+        eprintln!("[reproduce] running fused-kernel benchmarks...");
         let t = Instant::now();
-        println!("{}", tables::parallel_table(&tables::parallel_bench()));
+        let k = tables::kernel_bench();
+        eprintln!("[reproduce] kernel bench done in {:.1}s", t.elapsed().as_secs_f64());
+        println!("{}", tables::kernel_table(&k));
+        if k.quantized_bytes_ratio > 0.30 {
+            eprintln!(
+                "[reproduce] FAIL: quantized payload is {:.4} of f32 (> 0.30) — \
+                 the i8 codec is not delivering its shrink factor",
+                k.quantized_bytes_ratio
+            );
+            std::process::exit(1);
+        }
+        // Wall-clock comparisons are only trustworthy with real cores;
+        // single-core CI runners skip the speedup assert (same
+        // convention as the executor tail benchmarks).
+        if k.parallelism > 1 && k.kernel_speedup <= 1.0 {
+            eprintln!(
+                "[reproduce] FAIL: cosine block scan is {:.2}x vs the naive loop — \
+                 the fused kernels are slower than what they replaced",
+                k.kernel_speedup
+            );
+            std::process::exit(1);
+        }
+        k
+    };
+    if timings_json.is_none()
+        && store_dir.is_none()
+        && !sections.is_empty()
+        && sections.iter().all(|s| s == "parallel" || s == "kernels")
+    {
+        let t = Instant::now();
+        if run_parallel {
+            eprintln!("[reproduce] running persistent-executor tail benchmarks...");
+            println!("{}", tables::parallel_table(&tables::parallel_bench()));
+        }
+        if run_kernels {
+            run_kernel_section();
+        }
         eprintln!("[reproduce] total {:.1}s", t.elapsed().as_secs_f64());
         return;
     }
@@ -293,6 +361,7 @@ fn main() {
     } else {
         None
     };
+    let kernels = if run_kernels { Some(run_kernel_section()) } else { None };
     if let Some(path) = &timings_json {
         write_timings_json(
             path,
@@ -300,6 +369,7 @@ fn main() {
             runs.as_ref().expect("runs"),
             store.as_ref(),
             parallel.as_ref(),
+            kernels.as_ref(),
         );
     }
     eprintln!("[reproduce] total {:.1}s", t0.elapsed().as_secs_f64());

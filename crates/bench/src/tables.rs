@@ -613,6 +613,13 @@ pub struct StoreBenchResult {
     /// Whether the per-batch delta stayed below the snapshot size —
     /// the sublinearity claim the store exists to deliver.
     pub sublinear: bool,
+    /// Final state re-encoded through the quantized (v4) snapshot codec.
+    pub snapshot_q_bytes: u64,
+    /// The same state through the previous full-`f32` (v3) codec.
+    pub snapshot_f32_bytes: u64,
+    /// Live bytes in the cold-surface spill file (quantized codec); 0
+    /// when the retention policy never spills.
+    pub spill_bytes: u64,
 }
 
 /// Streams the eval datasets through a [`ngl_core::DurableGlobalizer`]
@@ -656,6 +663,7 @@ pub fn store_bench(
         durable.snapshot().map_err(|e| e.to_string())?;
     }
     let stats = durable.stats();
+    let (snapshot_q_bytes, snapshot_f32_bytes) = durable.inner().snapshot_codec_bytes();
     Ok(StoreBenchResult {
         tweets: stream.len(),
         batches,
@@ -665,6 +673,9 @@ pub fn store_bench(
         wal_bytes_total: stats.wal_bytes_total,
         snapshots: stats.snapshots,
         sublinear: delta_last < stats.snapshot_bytes_last,
+        snapshot_q_bytes,
+        snapshot_f32_bytes,
+        spill_bytes: durable.spill_pool().map_or(0, |p| p.live_bytes()),
     })
 }
 
@@ -834,7 +845,8 @@ pub fn parallel_table(r: &ParallelBenchResult) -> String {
     )
 }
 
-/// Renders the [`store_bench`] comparison as a one-row bench table.
+/// Renders the [`store_bench`] comparison as a one-row bench table,
+/// with the quantized-vs-f32 snapshot codec sizes alongside.
 pub fn store_table(r: &StoreBenchResult) -> String {
     let rows = vec![vec![
         r.tweets.to_string(),
@@ -844,10 +856,157 @@ pub fn store_table(r: &StoreBenchResult) -> String {
         r.snapshot_bytes_last.to_string(),
         format!("{:.4}", r.delta_bytes_last as f64 / r.snapshot_bytes_last.max(1) as f64),
         if r.sublinear { "yes" } else { "NO" }.to_string(),
+        format!(
+            "{}/{} ({:.2})",
+            r.snapshot_q_bytes,
+            r.snapshot_f32_bytes,
+            r.snapshot_q_bytes as f64 / r.snapshot_f32_bytes.max(1) as f64
+        ),
+        r.spill_bytes.to_string(),
     ]];
     render_table(
         "Durable store: delta WAL bytes per batch vs full snapshot",
-        &["Tweets", "Batches", "AvgDeltaB", "LastDeltaB", "SnapshotB", "Ratio", "Sublinear"],
+        &[
+            "Tweets", "Batches", "AvgDeltaB", "LastDeltaB", "SnapshotB", "Ratio", "Sublinear",
+            "SnapQ/F32", "SpillB",
+        ],
+        &rows,
+    )
+}
+
+/// Measured cost of the fused-kernel PR's two claims: the one-vs-many
+/// cosine block scan against the per-pair naive loop it replaced, and
+/// the byte footprint of i8-quantized embedding storage against f32.
+pub struct KernelBenchResult {
+    /// Rows in the block scan.
+    pub rows: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Full scans timed per side.
+    pub reps: usize,
+    /// Total seconds for `reps` naive per-pair scans (dot + two norms
+    /// recomputed per pair in plain scalar loops — the pre-kernel code).
+    pub naive_scan_s: f64,
+    /// Total seconds for `reps` [`ngl_nn::kernels::cosine_best_of`]
+    /// block scans under the dispatched (SIMD-capable) kernels.
+    pub block_scan_s: f64,
+    /// `naive_scan_s / block_scan_s`.
+    pub kernel_speedup: f64,
+    /// Quantized payload bytes for all rows (4-byte scale + 1 B/elem).
+    pub quantized_bytes: u64,
+    /// The same rows stored as raw `f32`.
+    pub f32_bytes: u64,
+    /// `quantized_bytes / f32_bytes` — the at-rest shrink factor.
+    pub quantized_bytes_ratio: f64,
+    /// `std::thread::available_parallelism()` of the host; timing-based
+    /// speedups are only asserted on multicore hosts (CI convention).
+    pub parallelism: usize,
+}
+
+/// Runs the kernel benchmarks. Self-contained — needs no trained
+/// [`Experiment`], so a `kernels`-only reproduce invocation skips the
+/// (expensive) experiment build entirely.
+pub fn kernel_bench() -> KernelBenchResult {
+    use ngl_nn::kernels::{self, QuantizedVec};
+    use ngl_runtime::faults::SplitMix64;
+    use std::time::Instant;
+
+    const ROWS: usize = 512;
+    const DIM: usize = 64;
+    const REPS: usize = 2000;
+    let mut rng = SplitMix64::new(0xD07);
+    let gen = |rng: &mut SplitMix64| -> Vec<f32> {
+        (0..DIM).map(|_| (rng.next_below(2000) as f32) / 1000.0 - 1.0).collect()
+    };
+    let query = gen(&mut rng);
+    let rows: Vec<Vec<f32>> = (0..ROWS).map(|_| gen(&mut rng)).collect();
+
+    // The pre-kernel consumer pattern: an independent cosine per pair,
+    // each recomputing both norms in a plain scalar loop.
+    let naive_cosine = |a: &[f32], b: &[f32]| -> f32 {
+        let (mut d, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+        for (x, y) in a.iter().zip(b) {
+            d += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+        (d / (na.sqrt() * nb.sqrt()).max(1e-12)).clamp(-1.0, 1.0)
+    };
+    let naive_scan = |q: &[f32], rows: &[Vec<f32>]| -> (usize, f32) {
+        let mut best = (0usize, f32::NEG_INFINITY);
+        for (i, r) in rows.iter().enumerate() {
+            let s = naive_cosine(q, r);
+            if s > best.1 {
+                best = (i, s);
+            }
+        }
+        best
+    };
+
+    // Warm both sides once, and check they agree on the winner before
+    // trusting the timings.
+    let (ni, ns) = naive_scan(&query, &rows);
+    let (bi, bs) = kernels::cosine_best_of(&query, &rows).expect("non-empty scan");
+    assert_eq!(ni, bi, "block scan and naive scan must pick the same row");
+    assert!((ns - bs).abs() < 1e-5, "similarities diverged: {ns} vs {bs}");
+
+    let mut sink = 0.0f32;
+    let t = Instant::now();
+    for _ in 0..REPS {
+        sink += naive_scan(std::hint::black_box(&query), std::hint::black_box(&rows)).1;
+    }
+    let naive_scan_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..REPS {
+        sink += kernels::cosine_best_of(
+            std::hint::black_box(&query),
+            std::hint::black_box(&rows),
+        )
+        .expect("non-empty scan")
+        .1;
+    }
+    let block_scan_s = t.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+
+    let quantized_bytes: u64 =
+        rows.iter().map(|r| QuantizedVec::quantize(r).payload_bytes() as u64).sum();
+    let f32_bytes = (ROWS * DIM * 4) as u64;
+
+    KernelBenchResult {
+        rows: ROWS,
+        dim: DIM,
+        reps: REPS,
+        naive_scan_s,
+        block_scan_s,
+        kernel_speedup: naive_scan_s / block_scan_s.max(f64::MIN_POSITIVE),
+        quantized_bytes,
+        f32_bytes,
+        quantized_bytes_ratio: quantized_bytes as f64 / f32_bytes.max(1) as f64,
+        parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Renders the [`kernel_bench`] comparison as a two-row bench table.
+pub fn kernel_table(r: &KernelBenchResult) -> String {
+    let rows = vec![
+        vec![
+            "cosine_block_scan".to_string(),
+            format!("{}x{} x {}", r.rows, r.dim, r.reps),
+            secs(std::time::Duration::from_secs_f64(r.naive_scan_s)),
+            secs(std::time::Duration::from_secs_f64(r.block_scan_s)),
+            format!("{:.2}x", r.kernel_speedup),
+        ],
+        vec![
+            "quantized_storage".to_string(),
+            format!("{} rows x {} dims", r.rows, r.dim),
+            format!("{} B", r.f32_bytes),
+            format!("{} B", r.quantized_bytes),
+            format!("{:.3} of f32", r.quantized_bytes_ratio),
+        ],
+    ];
+    render_table(
+        &format!("Fused kernels: block scan & quantized storage (host parallelism {})", r.parallelism),
+        &["Bench", "Workload", "Baseline", "Fused", "Gain"],
         &rows,
     )
 }

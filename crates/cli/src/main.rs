@@ -316,6 +316,16 @@ fn cmd_recover(flags: &HashMap<String, String>) -> Result<(), String> {
         report.surfaces, report.resident_surfaces
     );
     println!("state digest:       {:016x}", report.digest);
+    let (q_bytes, f_bytes) = durable.inner().snapshot_codec_bytes();
+    let pct = if f_bytes > 0 { 100.0 * q_bytes as f64 / f_bytes as f64 } else { 100.0 };
+    println!("snapshot bytes:     {q_bytes} quantized vs {f_bytes} f32 ({pct:.1}%)");
+    if let Some(pool) = durable.spill_pool() {
+        println!(
+            "spill bytes:        {} live / {} file (quantized codec)",
+            pool.live_bytes(),
+            pool.file_bytes()
+        );
+    }
     drop(durable); // recovery only: nothing new is logged
     Ok(())
 }

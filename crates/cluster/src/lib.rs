@@ -18,7 +18,7 @@
 use serde::{Deserialize, Serialize};
 
 use ngl_nn::cosine::l2_normalized;
-use ngl_nn::linalg::dot;
+use ngl_nn::kernels::{self, VecKernel};
 use ngl_runtime::Executor;
 
 /// Result of a batch clustering: a cluster id per input point.
@@ -49,9 +49,11 @@ struct ClusterAgg {
 }
 
 impl ClusterAgg {
-    /// Mean pairwise cosine distance to another cluster.
-    fn distance(&self, other: &ClusterAgg) -> f32 {
-        let sim = dot(&self.sum, &other.sum) / (self.count * other.count) as f32;
+    /// Mean pairwise cosine distance to another cluster, with a
+    /// pre-resolved dot kernel — block scans resolve the `NGL_KERNEL`
+    /// dispatch once instead of per pair.
+    fn distance_with(&self, dotf: VecKernel, other: &ClusterAgg) -> f32 {
+        let sim = dotf(&self.sum, &other.sum) / (self.count * other.count) as f32;
         1.0 - sim.clamp(-1.0, 1.0)
     }
 
@@ -155,11 +157,12 @@ pub fn agglomerative_exec<P: AsRef<[f32]>>(
 /// [`agglomerative_exec`] for the equivalence argument.
 fn closest_pair(clusters: &[ClusterAgg], exec: &Executor) -> (usize, usize, f32) {
     let n = clusters.len();
-    let scan_rows = |rows: std::ops::Range<usize>| {
+    let dotf = kernels::dot_fn();
+    let scan_rows = move |rows: std::ops::Range<usize>| {
         let mut best = (0usize, 1usize, f32::INFINITY);
         for i in rows {
             for j in i + 1..n {
-                let d = clusters[i].distance(&clusters[j]);
+                let d = clusters[i].distance_with(dotf, &clusters[j]);
                 if d < best.2 {
                     best = (i, j, d);
                 }
@@ -226,20 +229,56 @@ impl OnlineClusters {
     /// Mean cosine distance from `point` to cluster `c`.
     pub fn distance_to(&self, c: usize, point: &[f32]) -> f32 {
         let p = l2_normalized(point);
-        1.0 - (dot(&p, &self.sums[c]) / self.counts[c] as f32).clamp(-1.0, 1.0)
+        1.0 - (kernels::dot(&p, &self.sums[c]) / self.counts[c] as f32).clamp(-1.0, 1.0)
     }
 
-    /// Inserts a point, returning the cluster id it joined (possibly a
-    /// fresh one).
-    pub fn insert(&mut self, point: &[f32]) -> usize {
-        let p = l2_normalized(point);
+    /// First-minimum scan of one centroid range with a pre-resolved dot
+    /// kernel. Both the sequential and the chunked-parallel assignment
+    /// paths are built from this, so per-row distances are computed
+    /// identically in every configuration.
+    fn scan_range(
+        &self,
+        p: &[f32],
+        range: std::ops::Range<usize>,
+        dotf: VecKernel,
+    ) -> Option<(usize, f32)> {
         let mut best: Option<(usize, f32)> = None;
-        for c in 0..self.sums.len() {
-            let d = 1.0 - (dot(&p, &self.sums[c]) / self.counts[c] as f32).clamp(-1.0, 1.0);
+        for c in range {
+            let d = 1.0 - (dotf(p, &self.sums[c]) / self.counts[c] as f32).clamp(-1.0, 1.0);
             if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((c, d));
             }
         }
+        best
+    }
+
+    /// Nearest centroid to the already-normalized `p` (first minimum in
+    /// cluster-id order). Parallelizes over centroid chunks on `exec`
+    /// once the scan is large enough; the chunk-order strict-`<`
+    /// reduction returns exactly the sequential scan's answer, so the
+    /// result is **bitwise identical** at any thread count.
+    fn best_cluster(&self, p: &[f32], exec: &Executor) -> Option<(usize, f32)> {
+        let n = self.sums.len();
+        let dotf = kernels::dot_fn();
+        if exec.threads() <= 1 || n < PAR_SCAN_MIN_ROWS {
+            return self.scan_range(p, 0..n, dotf);
+        }
+        let chunk = n.div_ceil(exec.threads() * 4).max(8);
+        let ranges: Vec<std::ops::Range<usize>> =
+            (0..n).step_by(chunk).map(|s| s..(s + chunk).min(n)).collect();
+        let bests = exec.par_map(ranges, |_, r| self.scan_range(p, r, dotf));
+        let mut best: Option<(usize, f32)> = None;
+        for b in bests.into_iter().flatten() {
+            if best.is_none_or(|(_, bd)| b.1 < bd) {
+                best = Some(b);
+            }
+        }
+        best
+    }
+
+    /// Joins cluster `best` if its distance clears the threshold, else
+    /// opens a fresh cluster; returns the id.
+    fn join_or_open(&mut self, p: Vec<f32>, best: Option<(usize, f32)>) -> usize {
         match best {
             Some((c, d)) if d < self.threshold => {
                 for (a, b) in self.sums[c].iter_mut().zip(&p) {
@@ -254,6 +293,23 @@ impl OnlineClusters {
                 self.sums.len() - 1
             }
         }
+    }
+
+    /// Inserts a point, returning the cluster id it joined (possibly a
+    /// fresh one).
+    pub fn insert(&mut self, point: &[f32]) -> usize {
+        self.insert_exec(point, &Executor::sequential())
+    }
+
+    /// [`Self::insert`] with the centroid scan parallelized over chunks
+    /// on `exec` — for giant surface forms whose centroid count grows
+    /// into the hundreds. Assignments (and the resulting centroid sums)
+    /// are bitwise identical to sequential insertion at any thread
+    /// count; see [`Self::best_cluster`].
+    pub fn insert_exec(&mut self, point: &[f32], exec: &Executor) -> usize {
+        let p = l2_normalized(point);
+        let best = self.best_cluster(&p, exec);
+        self.join_or_open(p, best)
     }
 }
 
@@ -388,6 +444,34 @@ mod tests {
                     ids[i] == ids[j],
                     "points {i},{j} disagree"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_online_insert_is_bitwise_identical() {
+        // A tight threshold on spiral points opens enough clusters to
+        // push the centroid scan past PAR_SCAN_MIN_ROWS, with near-tied
+        // distances stressing the first-minimum rule across chunks.
+        let pts: Vec<Vec<f32>> = (0..220)
+            .map(|i| {
+                let a = i as f32 * 0.037;
+                vec![a.cos(), a.sin(), (i % 5) as f32 * 0.04]
+            })
+            .collect();
+        let par = Executor::new(4);
+        for t in [0.0005f32, 0.002, 0.02, 0.4] {
+            let mut seq = OnlineClusters::new(t);
+            let mut par_oc = OnlineClusters::new(t);
+            let seq_ids: Vec<usize> = pts.iter().map(|p| seq.insert(p)).collect();
+            let par_ids: Vec<usize> = pts.iter().map(|p| par_oc.insert_exec(p, &par)).collect();
+            assert_eq!(seq_ids, par_ids, "threshold {t}");
+            assert!(seq.len() >= PAR_SCAN_MIN_ROWS || t > 0.002, "threshold {t} too lax to test");
+            assert_eq!(seq.counts, par_oc.counts, "threshold {t}");
+            for (a, b) in seq.sums.iter().zip(&par_oc.sums) {
+                let ab: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+                let bb: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(ab, bb, "threshold {t} centroid bits");
             }
         }
     }

@@ -23,11 +23,17 @@
 //! [`get_checkpoint`] verifies.
 //!
 //! The codec is **versioned** alongside the `GlobalizerBundle` layout:
-//! v3 (current) adds the per-mention `trie_version` stamp, the
-//! per-surface `touched` LRU stamp and the `SpillCold` retention tag;
-//! v2 checkpoints load with both stamps defaulting to 0. Writers take
-//! the target version explicitly so migration tests can still produce
-//! v2 bytes.
+//! v4 (current) stores mention and cluster embeddings through the
+//! quantized codec (`ngl_nn::codec::put_quantized_f32_slice`, one `i8`
+//! per element plus a power-of-two scale, ~4× smaller at rest); v3
+//! added the per-mention `trie_version` stamp, the per-surface
+//! `touched` LRU stamp and the `SpillCold` retention tag; v2
+//! checkpoints load with both stamps defaulting to 0. Writers take the
+//! target version explicitly so migration tests can still produce
+//! older bytes. Because the pipeline canonicalizes every embedding at
+//! creation (see `ngl_nn::kernels::canonicalize`), the v4 encoding is
+//! lossless and canonical: decode→re-encode is byte-identical, which
+//! the durable snapshot digests rely on.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -68,11 +74,32 @@ pub struct PipelineCheckpoint {
     pub seen_ids: BTreeSet<u64>,
 }
 
+/// Checkpoint layout with quantized embedding storage (bundle v4,
+/// current).
+pub(crate) const CK_V4: u32 = 4;
 /// Checkpoint layout with per-mention trie versions and per-surface
-/// touch stamps (bundle v3, current).
+/// touch stamps, embeddings stored as full `f32` (bundle v3).
 pub(crate) const CK_V3: u32 = 3;
 /// Legacy checkpoint layout without the stamps (bundle v2).
 pub(crate) const CK_V2: u32 = 2;
+
+/// Embedding-slice codec for checkpoint version `v`: quantized from v4
+/// on, full `f32` before.
+fn put_emb(buf: &mut BytesMut, v: u32, emb: &[f32]) {
+    if v >= CK_V4 {
+        ngl_nn::codec::put_quantized_f32_slice(buf, emb);
+    } else {
+        put_f32_slice(buf, emb);
+    }
+}
+
+fn get_emb(buf: &mut Bytes, v: u32) -> Result<Vec<f32>, CodecError> {
+    if v >= CK_V4 {
+        ngl_nn::codec::get_quantized_f32_vec(buf)
+    } else {
+        get_f32_vec(buf)
+    }
+}
 
 // ---- primitive helpers ------------------------------------------------
 
@@ -169,7 +196,7 @@ fn put_mention(buf: &mut BytesMut, m: &MentionRecord, v: u32) {
     put_u64(buf, m.tweet as u64);
     put_u64(buf, m.start as u64);
     put_u64(buf, m.end as u64);
-    put_f32_slice(buf, &m.local_emb);
+    put_emb(buf, v, &m.local_emb);
     put_opt_type(buf, m.local_type);
     if v >= CK_V3 {
         put_u64(buf, m.trie_version);
@@ -181,28 +208,28 @@ fn get_mention(buf: &mut Bytes, v: u32) -> Result<MentionRecord, CodecError> {
         tweet: get_u64(buf)? as usize,
         start: get_u64(buf)? as usize,
         end: get_u64(buf)? as usize,
-        local_emb: get_f32_vec(buf)?,
+        local_emb: get_emb(buf, v)?,
         local_type: get_opt_type(buf)?,
         trie_version: if v >= CK_V3 { get_u64(buf)? } else { 0 },
     })
 }
 
-fn put_cluster(buf: &mut BytesMut, c: &CandidateCluster) {
+fn put_cluster(buf: &mut BytesMut, c: &CandidateCluster, v: u32) {
     put_u64(buf, c.members.len() as u64);
     for &m in &c.members {
         put_u64(buf, m as u64);
     }
-    put_f32_slice(buf, &c.global_emb);
+    put_emb(buf, v, &c.global_emb);
     put_label(buf, c.label);
 }
 
-fn get_cluster(buf: &mut Bytes) -> Result<CandidateCluster, CodecError> {
+fn get_cluster(buf: &mut Bytes, v: u32) -> Result<CandidateCluster, CodecError> {
     let n = get_count(buf, 8)?;
     let mut members = Vec::with_capacity(n);
     for _ in 0..n {
         members.push(get_u64(buf)? as usize);
     }
-    Ok(CandidateCluster { members, global_emb: get_f32_vec(buf)?, label: get_label(buf)? })
+    Ok(CandidateCluster { members, global_emb: get_emb(buf, v)?, label: get_label(buf)? })
 }
 
 pub(crate) fn put_entry(buf: &mut BytesMut, e: &SurfaceEntry, v: u32) {
@@ -212,7 +239,7 @@ pub(crate) fn put_entry(buf: &mut BytesMut, e: &SurfaceEntry, v: u32) {
     }
     put_u64(buf, e.clusters.len() as u64);
     for c in &e.clusters {
-        put_cluster(buf, c);
+        put_cluster(buf, c, v);
     }
     put_u64(buf, e.clustered as u64);
     put_u64(buf, e.classified as u64);
@@ -230,7 +257,7 @@ pub(crate) fn get_entry(buf: &mut Bytes, v: u32) -> Result<SurfaceEntry, CodecEr
     let n = get_count(buf, 24)?;
     let mut clusters = Vec::with_capacity(n);
     for _ in 0..n {
-        clusters.push(get_cluster(buf)?);
+        clusters.push(get_cluster(buf, v)?);
     }
     Ok(SurfaceEntry {
         mentions,
@@ -386,7 +413,7 @@ fn get_config(buf: &mut Bytes) -> Result<GlobalizerConfig, CodecError> {
 // ---- checkpoint codec -------------------------------------------------
 
 /// Appends the checkpoint to `buf` in the canonical layout for codec
-/// version `v` ([`CK_V2`] or [`CK_V3`]).
+/// version `v` ([`CK_V2`], [`CK_V3`] or [`CK_V4`]).
 pub(crate) fn put_checkpoint(buf: &mut BytesMut, ck: &PipelineCheckpoint, v: u32) {
     put_config(buf, &ck.cfg);
     put_ctrie(buf, &ck.ctrie);
@@ -401,7 +428,7 @@ pub(crate) fn put_checkpoint(buf: &mut BytesMut, ck: &PipelineCheckpoint, v: u32
         put_u64(buf, k.0 as u64);
         put_u64(buf, k.1 as u64);
         put_u64(buf, k.2 as u64);
-        put_f32_slice(buf, &ck.mention_cache[k]);
+        put_emb(buf, v, &ck.mention_cache[k]);
     }
     put_u64(buf, ck.seen_ids.len() as u64);
     for &id in &ck.seen_ids {
@@ -424,7 +451,7 @@ pub(crate) fn get_checkpoint(buf: &mut Bytes, v: u32) -> Result<PipelineCheckpoi
         let t = get_u64(buf)? as usize;
         let s = get_u64(buf)? as usize;
         let e = get_u64(buf)? as usize;
-        mention_cache.insert((t, s, e), get_f32_vec(buf)?);
+        mention_cache.insert((t, s, e), get_emb(buf, v)?);
     }
     let n = get_count(buf, 8)?;
     let mut seen_ids = BTreeSet::new();
@@ -541,6 +568,61 @@ mod tests {
         let entry = back.candidates.get("beshear").expect("entry");
         assert_eq!(entry.mentions[0].trie_version, 0);
         assert_eq!(entry.touched, 0);
+    }
+
+    #[test]
+    fn v4_round_trip_is_canonical_and_smaller() {
+        let ck = sample();
+        let v4 = to_bytes(&ck, CK_V4);
+        let v3 = to_bytes(&ck, CK_V3);
+        assert!(v4.len() < v3.len(), "quantized layout must shrink: {} vs {}", v4.len(), v3.len());
+        let mut cursor = v4.clone();
+        let back = get_checkpoint(&mut cursor, CK_V4).expect("parse v4");
+        assert_eq!(cursor.remaining(), 0, "no trailing bytes");
+        // Decoded embeddings are the quantization round-trip of the
+        // originals: re-encoding them is byte-identical even though the
+        // sample's raw values were not canonical.
+        assert_eq!(to_bytes(&back, CK_V4), v4);
+        let entry = back.candidates.get("beshear").expect("entry");
+        let orig = &ck.candidates.get("beshear").expect("entry").mentions[0].local_emb;
+        let got = &entry.mentions[0].local_emb;
+        let scale = ngl_nn::QuantizedVec::quantize(orig).scale;
+        for (a, b) in orig.iter().zip(got) {
+            assert!((a - b).abs() <= scale * 0.5, "{a} vs {b}");
+        }
+        // Canonical (pre-round-tripped) embeddings survive v4 exactly.
+        let mut canon = ck.clone();
+        for (_, e) in canon.candidates.iter_mut() {
+            for m in &mut e.mentions {
+                ngl_nn::kernels::canonicalize(&mut m.local_emb);
+            }
+            for c in &mut e.clusters {
+                ngl_nn::kernels::canonicalize(&mut c.global_emb);
+            }
+        }
+        for v in canon.mention_cache.values_mut() {
+            ngl_nn::kernels::canonicalize(v);
+        }
+        let back =
+            get_checkpoint(&mut to_bytes(&canon, CK_V4).clone(), CK_V4).expect("parse canon");
+        assert_eq!(
+            back.candidates.get("beshear").expect("entry").mentions[0].local_emb,
+            canon.candidates.get("beshear").expect("entry").mentions[0].local_emb,
+            "canonical embeddings are stored losslessly"
+        );
+    }
+
+    #[test]
+    fn v4_truncation_fails_cleanly_everywhere() {
+        let bytes = to_bytes(&sample(), CK_V4);
+        for cut in 0..bytes.len() {
+            let mut truncated = bytes.slice(0..cut);
+            assert!(
+                get_checkpoint(&mut truncated, CK_V4).is_err(),
+                "cut at {cut} of {} parsed",
+                bytes.len()
+            );
+        }
     }
 
     #[test]

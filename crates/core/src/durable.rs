@@ -52,11 +52,11 @@ use std::path::{Path, PathBuf};
 use bytes::{Bytes, BytesMut};
 
 use ngl_encoder::ContextualTagger;
-use ngl_nn::codec::{get_f32_vec, get_u64, put_f32_slice, put_u64, CodecError};
+use ngl_nn::codec::{get_quantized_f32_vec, get_u64, put_quantized_f32_slice, put_u64, CodecError};
 use ngl_store::{SnapshotStore, SpillFile, StoreError, Wal};
 
 use crate::bases::SurfaceEntry;
-use crate::checkpoint::{get_entry, get_str, put_entry, put_str, CK_V3};
+use crate::checkpoint::{get_entry, get_str, put_entry, put_str, CK_V4};
 use crate::persist::PersistError;
 use crate::pipeline::{BatchOutput, BatchReport, NerGlobalizer, RetentionPolicy};
 use ngl_runtime::TaskError;
@@ -155,13 +155,15 @@ impl SpillPool {
     ) -> Result<u64, StoreError> {
         let mut buf = BytesMut::new();
         put_str(&mut buf, surface);
-        put_entry(&mut buf, entry, CK_V3);
+        put_entry(&mut buf, entry, CK_V4);
         put_u64(&mut buf, cache.len() as u64);
         for ((t, s, e), emb) in cache {
             put_u64(&mut buf, *t as u64);
             put_u64(&mut buf, *s as u64);
             put_u64(&mut buf, *e as u64);
-            put_f32_slice(&mut buf, emb);
+            // Lossless for pipeline-produced embeddings: they are
+            // canonicalized (quantize→dequantize) at ingest.
+            put_quantized_f32_slice(&mut buf, emb);
         }
         let bytes = buf.len() as u64;
         let offset = self.file.append(&buf)?;
@@ -177,7 +179,7 @@ impl SpillPool {
         if stored != surface {
             return Err(StoreError::Corrupt("spill payload names a different surface"));
         }
-        let entry = get_entry(&mut buf, CK_V3).map_err(corrupt)?;
+        let entry = get_entry(&mut buf, CK_V4).map_err(corrupt)?;
         let n = get_u64(&mut buf).map_err(corrupt)? as usize;
         if n > entry.mentions.len() {
             return Err(StoreError::Corrupt("spill cache count exceeds mentions"));
@@ -187,7 +189,7 @@ impl SpillPool {
             let t = get_u64(&mut buf).map_err(corrupt)? as usize;
             let s = get_u64(&mut buf).map_err(corrupt)? as usize;
             let e = get_u64(&mut buf).map_err(corrupt)? as usize;
-            let emb = get_f32_vec(&mut buf).map_err(corrupt)?;
+            let emb = get_quantized_f32_vec(&mut buf).map_err(corrupt)?;
             cache.push(((t, s, e), emb));
         }
         Ok((entry, cache))

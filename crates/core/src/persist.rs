@@ -4,15 +4,20 @@
 //! file and load it back — train once, deploy anywhere, restart
 //! without losing stream position.
 //!
-//! v3 layout (current):
+//! v4 layout (current):
 //! `magic ("NGLB") | version (u32) | payload_len (u64) | fnv1a64
 //! checksum of payload (u64) | payload`, where the payload is
 //! `encoder | phrase | classifier | has_checkpoint (u64: 0/1) |
 //! [checkpoint]`. The length + checksum header makes partial or
 //! bit-flipped writes detectable before any component parsing runs.
-//! v3 differs from v2 only inside the checkpoint: each mention carries
-//! the CTrie version it was extracted under, each surface entry its
-//! LRU `touched` stamp, and the retention codec knows `SpillCold`.
+//! v4 differs from v3 only inside the checkpoint: mention and cluster
+//! embeddings are stored through the quantized i8 codec (~4× smaller),
+//! losslessly because the pipeline canonicalizes embeddings at
+//! creation.
+//!
+//! v3 layout (legacy, still loadable): same framing, embeddings as
+//! full `f32`; adds over v2 the per-mention trie-version stamp, the
+//! per-surface LRU `touched` stamp and the `SpillCold` retention tag.
 //!
 //! v2 layout (legacy, still loadable): same framing, checkpoint
 //! without the per-mention / per-surface stamps — they load as 0.
@@ -35,12 +40,13 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ngl_encoder::TokenEncoder;
 use ngl_nn::CodecError;
 
-use crate::checkpoint::{get_checkpoint, put_checkpoint, PipelineCheckpoint, CK_V2, CK_V3};
+use crate::checkpoint::{get_checkpoint, put_checkpoint, PipelineCheckpoint, CK_V2, CK_V3, CK_V4};
 use crate::classifier::EntityClassifier;
 use crate::phrase::PhraseEmbedder;
 
 const MAGIC: &[u8; 4] = b"NGLB";
-const VERSION: u32 = 3;
+const VERSION: u32 = 4;
+const V3_VERSION: u32 = 3;
 const V2_VERSION: u32 = 2;
 const LEGACY_VERSION: u32 = 1;
 
@@ -125,9 +131,16 @@ impl GlobalizerBundle {
         Self { encoder, phrase, classifier, checkpoint: None }
     }
 
-    /// Serializes the bundle into one binary blob (v3 layout).
+    /// Serializes the bundle into one binary blob (v4 layout, quantized
+    /// embedding storage).
     pub fn to_bytes(&self) -> Bytes {
-        self.to_bytes_versioned(VERSION, CK_V3)
+        self.to_bytes_versioned(VERSION, CK_V4)
+    }
+
+    /// Serializes in the v3 layout (full-`f32` embeddings). Kept for
+    /// the migration tests; new code should use [`Self::to_bytes`].
+    pub fn to_bytes_v3(&self) -> Bytes {
+        self.to_bytes_versioned(V3_VERSION, CK_V3)
     }
 
     /// Serializes in the v2 layout (checkpoint without the trie-version
@@ -185,7 +198,7 @@ impl GlobalizerBundle {
         let version = bytes.get_u32_le();
         match version {
             LEGACY_VERSION => Self::parse_components(bytes, None),
-            VERSION | V2_VERSION => {
+            VERSION | V3_VERSION | V2_VERSION => {
                 if bytes.remaining() < 16 {
                     return Err(PersistError::ChecksumMismatch);
                 }
@@ -197,7 +210,11 @@ impl GlobalizerBundle {
                 if fnv1a64(&bytes) != checksum {
                     return Err(PersistError::ChecksumMismatch);
                 }
-                let ck_version = if version == VERSION { CK_V3 } else { CK_V2 };
+                let ck_version = match version {
+                    VERSION => CK_V4,
+                    V3_VERSION => CK_V3,
+                    _ => CK_V2,
+                };
                 Self::parse_components(bytes, Some(ck_version))
             }
             v => Err(PersistError::UnsupportedVersion(v)),
@@ -360,10 +377,55 @@ mod tests {
         assert_eq!(entry.mentions[0].trie_version, 0);
         assert_eq!(entry.touched, 0);
 
-        // The same bundle through the v3 path keeps them.
-        let back3 = GlobalizerBundle::from_bytes(b.to_bytes()).expect("v3 load");
-        let entry3 = back3.checkpoint.expect("checkpoint").candidates.get("beshear").cloned();
-        assert_eq!(entry3.expect("entry").mentions[0].trie_version, 1);
+        // The same bundle through the current (v4) path keeps them.
+        let back4 = GlobalizerBundle::from_bytes(b.to_bytes()).expect("v4 load");
+        let entry4 = back4.checkpoint.expect("checkpoint").candidates.get("beshear").cloned();
+        assert_eq!(entry4.expect("entry").mentions[0].trie_version, 1);
+    }
+
+    #[test]
+    fn legacy_v3_bytes_load_with_exact_embeddings() {
+        use crate::bases::{CandidateBase, MentionRecord, TweetBase};
+        use crate::pipeline::GlobalizerConfig;
+        use ngl_ctrie::CTrie;
+        use std::collections::{BTreeSet, HashMap};
+
+        // Deliberately non-canonical values: a v3 (full-f32) encoding
+        // must round-trip them bit-exactly, while the v4 encoding of the
+        // same bundle is smaller but quantized.
+        let emb: Vec<f32> = (0..16).map(|i| ((i * 37 + 5) as f32).sin() * 0.7).collect();
+        let mut ctrie = CTrie::new();
+        ctrie.insert(&["beshear"]);
+        let mut candidates = CandidateBase::new();
+        candidates.add_mention("beshear", MentionRecord {
+            tweet: 0,
+            start: 1,
+            end: 2,
+            local_emb: emb.clone(),
+            local_type: Some(ngl_text::EntityType::Person),
+            trie_version: 3,
+        });
+        let mut b = bundle();
+        b.checkpoint = Some(PipelineCheckpoint {
+            cfg: GlobalizerConfig::default(),
+            ctrie,
+            tweets: TweetBase::new(),
+            candidates,
+            scanned_tweets: 0,
+            scanned_version: 1,
+            mention_cache: HashMap::new(),
+            seen_ids: BTreeSet::new(),
+        });
+
+        let v3 = b.to_bytes_v3();
+        let v4 = b.to_bytes();
+        assert!(v4.len() < v3.len(), "v4 ({}) must be smaller than v3 ({})", v4.len(), v3.len());
+
+        let back = GlobalizerBundle::from_bytes(v3).expect("v3 load");
+        let ck = back.checkpoint.expect("checkpoint survives");
+        let entry = ck.candidates.get("beshear").expect("entry");
+        assert_eq!(entry.mentions[0].local_emb, emb, "v3 embeddings are bit-exact");
+        assert_eq!(entry.mentions[0].trie_version, 3);
     }
 
     #[test]

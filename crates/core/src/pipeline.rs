@@ -893,7 +893,16 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
                         .map(|(k, occ)| {
                             let local_emb = if miss_at.peek() == Some(&k) {
                                 miss_at.next();
-                                fresh.next().expect("one embedding per cache miss")
+                                // Canonicalize fresh embeddings once, at
+                                // creation: every value kept in memory or
+                                // persisted afterwards is an exact i8
+                                // quantization round-trip, so the
+                                // quantized storage codec is lossless
+                                // ("i8 at rest, f32 in compute").
+                                let mut emb =
+                                    fresh.next().expect("one embedding per cache miss");
+                                ngl_nn::kernels::canonicalize(&mut emb);
+                                emb
                             } else {
                                 cache
                                     .get(&(ti, occ.start, occ.end))
@@ -1186,20 +1195,34 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
         }
     }
 
-    /// [`Self::export_state`] in the canonical v3 wire encoding —
-    /// equal pipeline states produce equal bytes, which is what the
-    /// durable snapshots store and the crash-recovery tests compare.
+    /// [`Self::export_state`] in the canonical v4 wire encoding
+    /// (embeddings stored via the quantized codec) — equal pipeline
+    /// states produce equal bytes, which is what the durable snapshots
+    /// store and the crash-recovery tests compare. Lossless because
+    /// every resident embedding is canonicalized at creation.
     pub fn export_state_bytes(&self) -> bytes::Bytes {
         let mut buf = bytes::BytesMut::new();
-        crate::checkpoint::put_checkpoint(&mut buf, &self.export_state(), crate::checkpoint::CK_V3);
+        crate::checkpoint::put_checkpoint(&mut buf, &self.export_state(), crate::checkpoint::CK_V4);
         buf.freeze()
+    }
+
+    /// Byte sizes of the state snapshot under the current (quantized,
+    /// v4) and the previous (full-`f32`, v3) embedding codecs — the
+    /// operational surfacing behind `ngl recover` and the store bench.
+    pub fn snapshot_codec_bytes(&self) -> (u64, u64) {
+        let state = self.export_state();
+        let mut q = bytes::BytesMut::new();
+        crate::checkpoint::put_checkpoint(&mut q, &state, crate::checkpoint::CK_V4);
+        let mut f = bytes::BytesMut::new();
+        crate::checkpoint::put_checkpoint(&mut f, &state, crate::checkpoint::CK_V3);
+        (q.len() as u64, f.len() as u64)
     }
 
     /// Restores state from bytes produced by
     /// [`Self::export_state_bytes`].
     pub fn import_state_bytes(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
         let mut cursor = bytes::Bytes::from(bytes.to_vec());
-        let ck = crate::checkpoint::get_checkpoint(&mut cursor, crate::checkpoint::CK_V3)?;
+        let ck = crate::checkpoint::get_checkpoint(&mut cursor, crate::checkpoint::CK_V4)?;
         if !cursor.is_empty() {
             return Err(PersistError::Codec(ngl_nn::CodecError::Invalid(
                 "trailing bytes after checkpoint",
@@ -1213,7 +1236,7 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     /// restored pipeline continues the stream exactly where the
     /// snapshot left off: feeding it the remaining input yields
     /// bitwise-identical finalize output to a never-interrupted run.
-    pub fn import_state(&mut self, ck: PipelineCheckpoint) -> Result<(), PersistError> {
+    pub fn import_state(&mut self, mut ck: PipelineCheckpoint) -> Result<(), PersistError> {
         if ck.scanned_tweets > ck.tweets.len() {
             return Err(PersistError::Inconsistent("watermark beyond tweet store"));
         }
@@ -1226,6 +1249,21 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
         let dim = self.phrase.dim();
         if ck.mention_cache.values().any(|v| v.len() != dim) {
             return Err(PersistError::Inconsistent("cached embedding dim mismatch"));
+        }
+        // Re-canonicalize embeddings on ingest: a no-op for states
+        // written by this version (v4 decodes are canonical by
+        // construction), but it upgrades legacy full-f32 states so
+        // their next quantized encode is lossless too.
+        for (_, entry) in ck.candidates.iter_mut() {
+            for m in &mut entry.mentions {
+                ngl_nn::kernels::canonicalize(&mut m.local_emb);
+            }
+            for c in &mut entry.clusters {
+                ngl_nn::kernels::canonicalize(&mut c.global_emb);
+            }
+        }
+        for emb in ck.mention_cache.values_mut() {
+            ngl_nn::kernels::canonicalize(emb);
         }
         self.cfg = ck.cfg;
         self.ctrie = ck.ctrie;
@@ -1303,10 +1341,14 @@ fn cluster_surface_exec(
                 });
             }
         } else {
+            // The per-mention centroid scan runs on the block kernel and
+            // parallelizes over centroid chunks once the cluster count
+            // grows; assignments stay bitwise identical to a sequential
+            // insert at any thread count.
             let mut online = ngl_cluster::OnlineClusters::new(threshold);
             let mut groups: Vec<Vec<usize>> = Vec::new();
             for (mi, m) in entry.mentions.iter().enumerate() {
-                let c = online.insert(&m.local_emb);
+                let c = online.insert_exec(&m.local_emb, exec);
                 if c == groups.len() {
                     groups.push(Vec::new());
                 }
@@ -1399,7 +1441,12 @@ fn score_cluster(
             // One fused attention pass for both outputs — bitwise equal
             // to the separate global_embedding + predict_confident
             // calls it replaces.
-            let (global, label) = classifier.score_candidate(&locals, min_confidence);
+            let (mut global, label) = classifier.score_candidate(&locals, min_confidence);
+            // Canonicalize the stored embedding (the label was already
+            // decided from the raw pooled vector) so the quantized
+            // checkpoint codec round-trips it exactly; re-scoring after
+            // a resume recomputes from the members either way.
+            ngl_nn::kernels::canonicalize(&mut global);
             cluster.global_emb = global;
             cluster.label = Some(label);
         }

@@ -70,9 +70,7 @@ impl AttentivePooling {
         softmax_in_place(&mut scores);
         let mut global = vec![0.0f32; locals.cols()];
         for j in 0..n {
-            for (g, &v) in global.iter_mut().zip(locals.row(j)) {
-                *g += scores[j] * v;
-            }
+            ngl_nn::kernels::axpy(&mut global, scores[j], locals.row(j));
         }
         (global, PoolingCache { weights: scores })
     }
@@ -100,9 +98,7 @@ impl AttentivePooling {
             .sum();
         for j in 0..n {
             let da = cache.weights[j] * (g[j] - mean);
-            for (gw, &x) in self.g_w.iter_mut().zip(locals.row(j)) {
-                *gw += da * x;
-            }
+            ngl_nn::kernels::axpy(&mut self.g_w, da, locals.row(j));
             self.g_b += da;
         }
     }

@@ -83,6 +83,41 @@ pub fn get_f32_vec(buf: &mut Bytes) -> Result<Vec<f32>, CodecError> {
     Ok((0..n).map(|_| buf.get_f32_le()).collect())
 }
 
+/// Writes an `f32` slice as a length-prefixed quantized record: `u64`
+/// length, `f32` power-of-two scale, then one `i8` per element (~4×
+/// smaller at rest than [`put_f32_slice`]).
+///
+/// Quantization happens here via [`crate::kernels::QuantizedVec`]; on
+/// *canonicalized* vectors (see [`crate::kernels::canonicalize`]) the
+/// encode→decode round-trip is bitwise lossless and re-encoding is
+/// byte-identical, which durable checkpoints rely on.
+pub fn put_quantized_f32_slice(buf: &mut BytesMut, v: &[f32]) {
+    let q = crate::kernels::QuantizedVec::quantize(v);
+    put_u64(buf, q.data.len() as u64);
+    buf.put_f32_le(q.scale);
+    buf.reserve(q.data.len());
+    for &x in &q.data {
+        buf.put_i8(x);
+    }
+}
+
+/// Reads a quantized `f32` record written by [`put_quantized_f32_slice`],
+/// returning the dequantized vector.
+pub fn get_quantized_f32_vec(buf: &mut Bytes) -> Result<Vec<f32>, CodecError> {
+    let n = get_u64(buf)?;
+    if n > MAX_ELEMENTS {
+        return Err(CodecError::Invalid("quantized slice length"));
+    }
+    if (buf.remaining() as u64) < 4 + n {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let scale = buf.get_f32_le();
+    if !scale.is_finite() || scale < 0.0 {
+        return Err(CodecError::Invalid("quantized scale"));
+    }
+    Ok((0..n).map(|_| buf.get_i8() as f32 * scale).collect())
+}
+
 /// Writes a matrix (rows, cols, data).
 pub fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
     put_u64(buf, m.rows() as u64);
@@ -214,6 +249,48 @@ mod tests {
         for v in [vec![], vec![1.5f32, -2.5, 0.0]] {
             let got = round_trip(&v, |b, x| put_f32_slice(b, x), get_f32_vec);
             assert_eq!(v, got);
+        }
+    }
+
+    #[test]
+    fn quantized_slice_is_lossless_on_canonical_vectors() {
+        let mut v = vec![0.83f32, -1.2, 0.0, 0.004, 2.7, -0.3311];
+        crate::kernels::canonicalize(&mut v);
+        let got = round_trip(&v, |b, x| put_quantized_f32_slice(b, x), get_quantized_f32_vec);
+        assert_eq!(v, got, "canonical vectors round-trip exactly");
+        // Re-encoding the decoded vector is byte-identical.
+        let mut b1 = BytesMut::new();
+        put_quantized_f32_slice(&mut b1, &v);
+        let mut b2 = BytesMut::new();
+        put_quantized_f32_slice(&mut b2, &got);
+        assert_eq!(b1.freeze(), b2.freeze());
+    }
+
+    #[test]
+    fn quantized_slice_bounds_error_on_raw_vectors() {
+        let v = vec![0.83f32, -1.2, 0.0, 0.004, 2.7, -0.3311];
+        let mut buf = BytesMut::new();
+        put_quantized_f32_slice(&mut buf, &v);
+        let got = get_quantized_f32_vec(&mut buf.freeze()).expect("decode");
+        let scale = crate::kernels::QuantizedVec::quantize(&v).scale;
+        for (&x, &y) in v.iter().zip(&got) {
+            assert!((x - y).abs() <= scale * 0.5, "{x} vs {y}");
+        }
+        assert_eq!(got[2], 0.0, "exact zero preserved");
+    }
+
+    #[test]
+    fn quantized_slice_truncation_fails_cleanly() {
+        let v = vec![1.0f32, -0.5, 0.25];
+        let mut buf = BytesMut::new();
+        put_quantized_f32_slice(&mut buf, &v);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut sliced = full.slice(0..cut);
+            assert!(
+                get_quantized_f32_vec(&mut sliced).is_err(),
+                "truncation at {cut} must fail"
+            );
         }
     }
 }

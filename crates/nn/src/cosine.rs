@@ -7,21 +7,26 @@
 //! arise from an all-zero token embedding, which we still must not turn
 //! into NaN.
 
+use crate::kernels;
+
 const EPS: f32 = 1e-12;
 
 /// Cosine similarity in `[-1, 1]` (0 when either vector is ~zero).
+///
+/// Backed by the fused single-pass kernel ([`kernels::cosine`]), whose
+/// fixed 8-lane accumulation order makes the result independent of the
+/// `NGL_KERNEL` dispatch.
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut dot = 0.0f32;
-    let mut na = 0.0f32;
-    let mut nb = 0.0f32;
-    for (&x, &y) in a.iter().zip(b) {
-        dot += x * y;
-        na += x * x;
-        nb += y * y;
-    }
-    let denom = (na.sqrt() * nb.sqrt()).max(EPS);
-    (dot / denom).clamp(-1.0, 1.0)
+    kernels::cosine(a, b)
+}
+
+/// Cosine similarity for vectors already normalized by [`l2_normalize`]:
+/// a plain dot product clamped to `[-1, 1]`, skipping both norm
+/// accumulations and the division.
+pub fn cosine_similarity_prenorm(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    kernels::dot(a, b).clamp(-1.0, 1.0)
 }
 
 /// Cosine distance `1 - cos(a, b)` in `[0, 2]`.
@@ -35,7 +40,7 @@ pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
 
 /// Normalizes `v` to unit L2 norm in place. A ~zero vector is left as is.
 pub fn l2_normalize(v: &mut [f32]) {
-    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let n: f32 = kernels::sq_norm(v).sqrt();
     if n > EPS {
         for x in v.iter_mut() {
             *x /= n;
@@ -54,13 +59,22 @@ pub fn l2_normalized(v: &[f32]) -> Vec<f32> {
 ///
 /// `d cos / d a = b / (|a||b|) - cos(a,b) * a / |a|²`
 pub fn cosine_similarity_grad_a(a: &[f32], b: &[f32]) -> Vec<f32> {
-    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt().max(EPS);
-    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt().max(EPS);
+    let mut out = vec![0.0f32; a.len()];
+    cosine_similarity_grad_a_into(a, b, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`cosine_similarity_grad_a`]: writes the
+/// gradient into `out`, which training loops reuse across pairs.
+pub fn cosine_similarity_grad_a_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    let na: f32 = kernels::sq_norm(a).sqrt().max(EPS);
+    let nb: f32 = kernels::sq_norm(b).sqrt().max(EPS);
     let cos = cosine_similarity(a, b);
-    a.iter()
-        .zip(b)
-        .map(|(&ai, &bi)| bi / (na * nb) - cos * ai / (na * na))
-        .collect()
+    for ((o, &ai), &bi) in out.iter_mut().zip(a).zip(b) {
+        *o = bi / (na * nb) - cos * ai / (na * na);
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +119,25 @@ mod tests {
         let b = [0.5f32, -0.25, 2.0];
         let scaled: Vec<f32> = a.iter().map(|x| x * 7.5).collect();
         assert!((cosine_similarity(&a, &b) - cosine_similarity(&scaled, &b)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn prenorm_matches_full_similarity_on_unit_vectors() {
+        let a = l2_normalized(&[1.0, 2.0, -1.0, 0.5]);
+        let b = l2_normalized(&[0.5, -0.25, 2.0, 1.5]);
+        let full = cosine_similarity(&a, &b);
+        let fast = cosine_similarity_prenorm(&a, &b);
+        assert!((full - fast).abs() < 1e-6, "{full} vs {fast}");
+    }
+
+    #[test]
+    fn grad_into_matches_allocating_variant() {
+        let a = [0.4f32, -0.7, 1.1, 0.2, -0.9];
+        let b = [0.9f32, 0.2, -0.3, 1.4, 0.6];
+        let alloc = cosine_similarity_grad_a(&a, &b);
+        let mut out = [0.0f32; 5];
+        cosine_similarity_grad_a_into(&a, &b, &mut out);
+        assert_eq!(alloc, out.to_vec());
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //!
 //! * [`Matrix`] — a small row-major `f32` matrix with the linear-algebra
 //!   kernels used by the layers (GEMM, transposed GEMM variants, axpy).
+//! * [`kernels`] — fused dot / norm / cosine / axpy kernels with a fixed
+//!   8-lane accumulation order shared by the scalar and SIMD paths
+//!   (`NGL_KERNEL=scalar|simd`), plus the i8 symmetric quantization used
+//!   for stored embeddings.
 //! * [`Dense`], [`Relu`], [`BatchNorm1d`], [`L2Norm`] — layers with
 //!   explicit `forward` / `backward` passes.
 //! * [`SoftmaxCrossEntropy`] — fused softmax + cross-entropy for the
@@ -29,6 +33,7 @@ pub mod codec;
 pub mod cosine;
 pub mod early_stopping;
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod linalg;
 pub mod loss;
@@ -36,7 +41,10 @@ pub mod mlp;
 pub mod optim;
 
 pub use codec::CodecError;
-pub use cosine::{cosine_distance, cosine_similarity, l2_normalize, l2_normalized};
+pub use cosine::{
+    cosine_distance, cosine_similarity, cosine_similarity_prenorm, l2_normalize, l2_normalized,
+};
+pub use kernels::{set_kernel_mode, KernelMode, QuantizedVec};
 pub use early_stopping::EarlyStopping;
 pub use layers::{BatchNorm1d, Dense, L2Norm, Relu};
 pub use linalg::Matrix;

@@ -201,9 +201,7 @@ impl Matrix {
     pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
         assert_eq!(self.rows, other.rows, "axpy shape mismatch");
         assert_eq!(self.cols, other.cols, "axpy shape mismatch");
-        for (o, &v) in self.data.iter_mut().zip(&other.data) {
-            *o += alpha * v;
-        }
+        crate::kernels::axpy(&mut self.data, alpha, &other.data);
     }
 
     /// In-place scaling `self *= alpha`.
@@ -215,7 +213,7 @@ impl Matrix {
 
     /// Frobenius norm. Useful in tests and for gradient-norm diagnostics.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+        crate::kernels::sq_norm(&self.data).sqrt()
     }
 
     /// Returns true when any element is NaN or infinite.
@@ -224,17 +222,18 @@ impl Matrix {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, backed by the dispatched
+/// fixed-order kernel ([`crate::kernels::dot`]).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    crate::kernels::dot(a, b)
 }
 
 /// Euclidean norm of a slice.
 #[inline]
 pub fn norm(a: &[f32]) -> f32 {
-    dot(a, a).sqrt()
+    crate::kernels::sq_norm(a).sqrt()
 }
 
 #[cfg(test)]

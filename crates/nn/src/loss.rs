@@ -8,7 +8,7 @@
 //! * [`soft_nn`] — the soft-nearest-neighbour loss (Eq. 5) with a
 //!   temperature controlling the relative weight of near pairs.
 
-use crate::cosine::{cosine_distance, cosine_similarity_grad_a};
+use crate::cosine::{cosine_distance, cosine_similarity_grad_a_into};
 use crate::linalg::Matrix;
 
 /// Fused softmax + cross-entropy head.
@@ -103,14 +103,23 @@ pub fn triplet(anchor: &[f32], positive: &[f32], negative: &[f32], margin: f32) 
             grad_negative: vec![0.0; d],
         };
     }
-    // d(a,x) = 1 − cos(a,x) ⇒ ∂d/∂v = −∂cos/∂v.
-    let dcos_ap_da = cosine_similarity_grad_a(anchor, positive);
-    let dcos_ap_dp = cosine_similarity_grad_a(positive, anchor);
-    let dcos_an_da = cosine_similarity_grad_a(anchor, negative);
-    let dcos_an_dn = cosine_similarity_grad_a(negative, anchor);
-    let grad_anchor = (0..d).map(|i| -dcos_ap_da[i] + dcos_an_da[i]).collect();
-    let grad_positive = dcos_ap_dp.iter().map(|g| -g).collect();
-    let grad_negative = dcos_an_dn.to_vec();
+    // d(a,x) = 1 − cos(a,x) ⇒ ∂d/∂v = −∂cos/∂v. The cosine gradients
+    // are written straight into the result vectors (one scratch buffer
+    // for the anchor, which combines two of them).
+    let mut grad_anchor = vec![0.0f32; d]; // dcos_an_da
+    let mut grad_positive = vec![0.0f32; d]; // dcos_ap_dp
+    let mut grad_negative = vec![0.0f32; d]; // dcos_an_dn
+    let mut scratch = vec![0.0f32; d]; // dcos_ap_da
+    cosine_similarity_grad_a_into(anchor, negative, &mut grad_anchor);
+    cosine_similarity_grad_a_into(positive, anchor, &mut grad_positive);
+    cosine_similarity_grad_a_into(negative, anchor, &mut grad_negative);
+    cosine_similarity_grad_a_into(anchor, positive, &mut scratch);
+    for (g, &s) in grad_anchor.iter_mut().zip(&scratch) {
+        *g -= s;
+    }
+    for g in grad_positive.iter_mut() {
+        *g = -*g;
+    }
     TripletResult { loss: raw, grad_anchor, grad_positive, grad_negative }
 }
 
@@ -194,14 +203,17 @@ pub fn soft_nn(embeddings: &Matrix, labels: &[usize], temperature: f32) -> SoftN
     total *= scale;
 
     // Convert ∂L/∂d_ij into embedding gradients: d_ij = 1 − cos(x_i, x_j).
+    // The two cosine-gradient buffers are reused across all O(b²) pairs.
+    let mut dcos_di = vec![0.0f32; embeddings.cols()];
+    let mut dcos_dj = vec![0.0f32; embeddings.cols()];
     for i in 0..b {
         for j in 0..b {
             if i == j || dl_dd[i * b + j] == 0.0 {
                 continue;
             }
             let g = dl_dd[i * b + j] * scale;
-            let dcos_di = cosine_similarity_grad_a(embeddings.row(i), embeddings.row(j));
-            let dcos_dj = cosine_similarity_grad_a(embeddings.row(j), embeddings.row(i));
+            cosine_similarity_grad_a_into(embeddings.row(i), embeddings.row(j), &mut dcos_di);
+            cosine_similarity_grad_a_into(embeddings.row(j), embeddings.row(i), &mut dcos_dj);
             for (c, (gi, gj)) in dcos_di.iter().zip(&dcos_dj).enumerate() {
                 // ∂d/∂x = −∂cos/∂x.
                 grads.row_mut(i)[c] += g * (-gi);
