@@ -83,7 +83,9 @@ fn write_timings_json(
              \"snapshot_bytes_last\": {}, \"wal_bytes_total\": {}, \
              \"snapshots\": {}, \"sublinear\": {}, \
              \"snapshot_q_bytes\": {}, \"snapshot_f32_bytes\": {}, \
-             \"spill_bytes\": {}}}",
+             \"spill_bytes\": {}, \"page_cache_hits\": {}, \
+             \"page_cache_misses\": {}, \"io_retries\": {}, \
+             \"io_retry_exhausted\": {}}}",
             s.tweets,
             s.batches,
             s.delta_bytes_avg,
@@ -95,6 +97,10 @@ fn write_timings_json(
             s.snapshot_q_bytes,
             s.snapshot_f32_bytes,
             s.spill_bytes,
+            s.page_cache_hits,
+            s.page_cache_misses,
+            s.io_retries,
+            s.io_retry_exhausted,
         ));
     }
     if let Some(p) = parallel {

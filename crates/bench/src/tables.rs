@@ -620,6 +620,15 @@ pub struct StoreBenchResult {
     /// Live bytes in the cold-surface spill file (quantized codec); 0
     /// when the retention policy never spills.
     pub spill_bytes: u64,
+    /// Read-side page-cache hits of the spill file (0 without a pool).
+    pub page_cache_hits: u64,
+    /// Read-side page-cache misses of the spill file.
+    pub page_cache_misses: u64,
+    /// Transient IO errors absorbed by retry during the run (should be
+    /// 0 on a healthy disk).
+    pub io_retries: u64,
+    /// Transient IO errors that exhausted the retry budget.
+    pub io_retry_exhausted: u64,
 }
 
 /// Streams the eval datasets through a [`ngl_core::DurableGlobalizer`]
@@ -676,6 +685,10 @@ pub fn store_bench(
         snapshot_q_bytes,
         snapshot_f32_bytes,
         spill_bytes: durable.spill_pool().map_or(0, |p| p.live_bytes()),
+        page_cache_hits: durable.spill_pool().map_or(0, |p| p.page_cache_stats().0),
+        page_cache_misses: durable.spill_pool().map_or(0, |p| p.page_cache_stats().1),
+        io_retries: durable.io_stats().transient_retries,
+        io_retry_exhausted: durable.io_stats().retry_exhausted,
     })
 }
 
@@ -863,12 +876,14 @@ pub fn store_table(r: &StoreBenchResult) -> String {
             r.snapshot_q_bytes as f64 / r.snapshot_f32_bytes.max(1) as f64
         ),
         r.spill_bytes.to_string(),
+        format!("{}/{}", r.page_cache_hits, r.page_cache_misses),
+        format!("{}/{}", r.io_retries, r.io_retry_exhausted),
     ]];
     render_table(
         "Durable store: delta WAL bytes per batch vs full snapshot",
         &[
             "Tweets", "Batches", "AvgDeltaB", "LastDeltaB", "SnapshotB", "Ratio", "Sublinear",
-            "SnapQ/F32", "SpillB",
+            "SnapQ/F32", "SpillB", "PgHit/Miss", "IoRetry",
         ],
         &rows,
     )

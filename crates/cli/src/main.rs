@@ -248,6 +248,18 @@ fn cmd_tag(flags: &HashMap<String, String>) -> Result<(), String> {
             }
             durable.process_batch(tweets.clone()).map_err(|e| e.to_string())?;
             let all = durable.finalize().map_err(|e| e.to_string())?;
+            let health = durable.degradation();
+            if health.is_degraded() {
+                eprintln!(
+                    "warning: storage degraded ({}): {} wal commit failures, \
+                     {} snapshot failures, {} spill pins, {} spill losses",
+                    health.mode(),
+                    health.wal_commit_failures,
+                    health.snapshot_failures,
+                    health.spill_pins,
+                    health.spill_losses
+                );
+            }
             // A resumed store emits spans for every retained tweet;
             // this invocation only prints the ones it just ingested.
             let skip = all.len().saturating_sub(tweets.len());
@@ -325,7 +337,24 @@ fn cmd_recover(flags: &HashMap<String, String>) -> Result<(), String> {
             pool.live_bytes(),
             pool.file_bytes()
         );
+        let (hits, misses) = pool.page_cache_stats();
+        println!("spill page cache:   {hits} hits / {misses} misses");
     }
+    if report.unverified_finalizes > 0 {
+        println!(
+            "unverified marks:   {} (writer degraded under spill faults; \
+             replay is the fault-free reconstruction of its inputs)",
+            report.unverified_finalizes
+        );
+    }
+    let health = durable.degradation();
+    let io = durable.io_stats();
+    println!(
+        "storage health:     {} ({} io retries absorbed, {} exhausted)",
+        health.mode(),
+        io.transient_retries,
+        io.retry_exhausted
+    );
     drop(durable); // recovery only: nothing new is logged
     Ok(())
 }

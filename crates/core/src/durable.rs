@@ -53,7 +53,9 @@ use bytes::{Bytes, BytesMut};
 
 use ngl_encoder::ContextualTagger;
 use ngl_nn::codec::{get_quantized_f32_vec, get_u64, put_quantized_f32_slice, put_u64, CodecError};
-use ngl_store::{SnapshotStore, SpillFile, StoreError, Wal};
+use ngl_store::{
+    IoHandle, IoStatsSnapshot, SnapshotStore, SpillFile, StoreError, Wal, DEFAULT_SEGMENT_BYTES,
+};
 
 use crate::bases::SurfaceEntry;
 use crate::checkpoint::{get_entry, get_str, put_entry, put_str, CK_V4};
@@ -95,7 +97,13 @@ impl SpillPool {
     /// never outlive the process, so an existing file's contents are
     /// always stale.
     pub fn create<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
-        let mut file = SpillFile::open(path)?;
+        Self::create_with_io(path, IoHandle::real())
+    }
+
+    /// [`Self::create`] over an explicit IO layer (chaos tests inject
+    /// faults here).
+    pub fn create_with_io<P: AsRef<Path>>(path: P, io: IoHandle) -> Result<Self, StoreError> {
+        let mut file = SpillFile::open_with_io(path, io)?;
         // Read-side page-cache budget: `NGL_SPILL_CACHE_BYTES=0`
         // disables caching, unset keeps the ngl-store default.
         if let Ok(raw) = std::env::var(SPILL_CACHE_ENV) {
@@ -237,6 +245,16 @@ const TAG_FINALIZE: u8 = 2;
 const TAG_EVICT: u8 = 3;
 const TAG_SPILL: u8 = 4;
 const TAG_SNAPSHOT: u8 = 5;
+/// A finalize mark carrying a `flags` word. Written only when some
+/// flag is set, so stores that never degrade stay byte-identical to
+/// the v1 format (and readable by older binaries).
+const TAG_FINALIZE_V2: u8 = 6;
+
+/// Finalize flag: the digest was computed on a state that diverged
+/// from fault-free replay (a spill fault pinned or dropped an entry),
+/// so recovery must not verify it. Cleared by the next successful
+/// snapshot, which re-baselines replay.
+pub(crate) const FINALIZE_FLAG_UNVERIFIED: u64 = 1;
 
 /// A typed WAL record. `Batch` and `Finalize` drive replay; `Evict`,
 /// `Spill` and `Snapshot` are audit records — cheap summaries of
@@ -255,6 +273,8 @@ pub(crate) enum WalRecord {
         surfaces: u64,
         mentions: u64,
         digest: u64,
+        /// See [`FINALIZE_FLAG_UNVERIFIED`]; `0` encodes as v1.
+        flags: u64,
     },
     /// Retention moved the eviction boundary during the finalize of
     /// `op_seq`.
@@ -302,11 +322,17 @@ impl WalRecord {
                 surfaces,
                 mentions,
                 digest,
+                flags,
             } => {
                 for v in [op_seq, watermark, first_retained, ctrie_version, surfaces, mentions, digest] {
                     put_u64(&mut buf, *v);
                 }
-                TAG_FINALIZE
+                if *flags == 0 {
+                    TAG_FINALIZE
+                } else {
+                    put_u64(&mut buf, *flags);
+                    TAG_FINALIZE_V2
+                }
             }
             WalRecord::Evict { op_seq, first_retained } => {
                 put_u64(&mut buf, *op_seq);
@@ -362,15 +388,26 @@ impl WalRecord {
                 }
                 WalRecord::Batch { op_seq, ids, tweets }
             }
-            TAG_FINALIZE => WalRecord::Finalize {
-                op_seq: get_u64(&mut buf)?,
-                watermark: get_u64(&mut buf)?,
-                first_retained: get_u64(&mut buf)?,
-                ctrie_version: get_u64(&mut buf)?,
-                surfaces: get_u64(&mut buf)?,
-                mentions: get_u64(&mut buf)?,
-                digest: get_u64(&mut buf)?,
-            },
+            TAG_FINALIZE | TAG_FINALIZE_V2 => {
+                let op_seq = get_u64(&mut buf)?;
+                let watermark = get_u64(&mut buf)?;
+                let first_retained = get_u64(&mut buf)?;
+                let ctrie_version = get_u64(&mut buf)?;
+                let surfaces = get_u64(&mut buf)?;
+                let mentions = get_u64(&mut buf)?;
+                let digest = get_u64(&mut buf)?;
+                let flags = if tag == TAG_FINALIZE_V2 { get_u64(&mut buf)? } else { 0 };
+                WalRecord::Finalize {
+                    op_seq,
+                    watermark,
+                    first_retained,
+                    ctrie_version,
+                    surfaces,
+                    mentions,
+                    digest,
+                    flags,
+                }
+            }
             TAG_EVICT => WalRecord::Evict {
                 op_seq: get_u64(&mut buf)?,
                 first_retained: get_u64(&mut buf)?,
@@ -523,6 +560,12 @@ pub struct RecoveryReport {
     pub tweets: usize,
     /// The recovered state digest.
     pub digest: u64,
+    /// Finalize marks replayed *without* digest verification because
+    /// the writing run recorded a spill-fault divergence (see
+    /// [`FINALIZE_FLAG_UNVERIFIED`]). Non-zero means the pre-crash
+    /// run degraded and never healed with a snapshot; the replayed
+    /// state is the fault-free reconstruction of the logged inputs.
+    pub unverified_finalizes: usize,
 }
 
 /// Byte accounting for the delta-vs-snapshot comparison.
@@ -543,6 +586,169 @@ pub struct StoreStats {
     pub finalizes: u64,
 }
 
+// ---- degradation -------------------------------------------------------
+
+/// What failed, for one [`DegradationEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationCause {
+    /// A WAL commit failed (not out-of-space); the operation was
+    /// rejected and can be retried.
+    WalCommit,
+    /// The disk reported out-of-space; mutations are refused until a
+    /// commit succeeds again.
+    DiskFull,
+    /// A full snapshot could not be written; durability rides on the
+    /// WAL alone and the snapshot is retried at the next finalize.
+    SnapshotWrite,
+    /// Rehydrating spilled surfaces for a snapshot failed; the
+    /// affected surface restarts empty (a recorded loss).
+    SnapshotRehydrate,
+    /// WAL rotation/compaction or snapshot pruning failed after a
+    /// successful snapshot. Stale files linger — harmless for
+    /// correctness (replay filters records by `op_seq`), costs disk.
+    Compaction,
+}
+
+impl std::fmt::Display for DegradationCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            DegradationCause::WalCommit => "wal-commit",
+            DegradationCause::DiskFull => "disk-full",
+            DegradationCause::SnapshotWrite => "snapshot-write",
+            DegradationCause::SnapshotRehydrate => "snapshot-rehydrate",
+            DegradationCause::Compaction => "compaction",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One recorded storage degradation, in occurrence order.
+#[derive(Debug, Clone)]
+pub struct DegradationEvent {
+    /// The operation counter when the failure happened.
+    pub op_seq: u64,
+    pub cause: DegradationCause,
+    /// The underlying error, stringified.
+    pub detail: String,
+}
+
+/// Overall storage health, derived from a [`DegradationReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationMode {
+    /// No storage faults observed (absorbed transient retries are
+    /// still healthy).
+    Healthy,
+    /// Faults occurred, but every acknowledged operation is durable
+    /// and snapshots are current.
+    Degraded,
+    /// Snapshots are failing; every acknowledged operation is durable
+    /// but recovery must replay the whole WAL.
+    WalOnly,
+    /// The disk is full: mutations are refused (typed errors, no
+    /// panic) until a commit succeeds again.
+    ReadOnly,
+}
+
+impl std::fmt::Display for DegradationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            DegradationMode::Healthy => "healthy",
+            DegradationMode::Degraded => "degraded",
+            DegradationMode::WalOnly => "wal-only",
+            DegradationMode::ReadOnly => "read-only",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Typed storage-health report for the degradation ladder: flags for
+/// the current operating mode, cumulative failure counters, spill
+/// pin/loss totals and IO retry statistics. Obtained from
+/// [`DurableGlobalizer::degradation`]; never panics, never lies about
+/// acknowledged data.
+#[derive(Debug, Clone, Default)]
+pub struct DegradationReport {
+    /// Mutations are currently refused (last commit hit ENOSPC).
+    /// Cleared by the next successful commit.
+    pub read_only: bool,
+    /// The last due snapshot failed; WAL-only operation until one
+    /// succeeds.
+    pub snapshot_lagging: bool,
+    /// Finalize digests are currently written unverifiable (a spill
+    /// fault made resident state diverge from fault-free replay).
+    /// Healed by the next successful snapshot.
+    pub digest_unverified: bool,
+    /// WAL commits rejected (each one a typed error to the caller —
+    /// the operation did not happen and may be retried).
+    pub wal_commit_failures: u64,
+    /// Snapshot attempts that failed (write or rehydrate).
+    pub snapshot_failures: u64,
+    /// Post-snapshot rotate/compact/prune failures (disk-space cost
+    /// only).
+    pub compaction_failures: u64,
+    /// Surfaces lost while rehydrating for a snapshot.
+    pub rehydrate_losses: u64,
+    /// Surfaces kept resident because their spill write failed
+    /// (lossless degradation of the memory budget).
+    pub spill_pins: u64,
+    /// Surfaces that lost cold state to spill/rehydrate faults
+    /// (restart empty; includes `rehydrate_losses`).
+    pub spill_losses: u64,
+    /// Transient IO errors absorbed by retry (healthy).
+    pub io_retries: u64,
+    /// Transient IO errors that exhausted the retry budget and
+    /// surfaced.
+    pub io_retry_exhausted: u64,
+    /// The first [`MAX_DEGRADATION_EVENTS`] degradations, in order.
+    pub events: Vec<DegradationEvent>,
+    /// Degradations beyond the event cap (counters above still count
+    /// them).
+    pub dropped_events: u64,
+}
+
+/// Cap on retained [`DegradationReport::events`].
+pub const MAX_DEGRADATION_EVENTS: usize = 64;
+
+impl DegradationReport {
+    /// Collapses the flags into the degradation ladder rung.
+    pub fn mode(&self) -> DegradationMode {
+        if self.read_only {
+            DegradationMode::ReadOnly
+        } else if self.snapshot_lagging {
+            DegradationMode::WalOnly
+        } else if self.is_degraded() {
+            DegradationMode::Degraded
+        } else {
+            DegradationMode::Healthy
+        }
+    }
+
+    /// Whether any fault left a trace (successful transient retries
+    /// don't count).
+    pub fn is_degraded(&self) -> bool {
+        self.read_only
+            || self.snapshot_lagging
+            || self.digest_unverified
+            || self.wal_commit_failures
+                + self.snapshot_failures
+                + self.compaction_failures
+                + self.spill_pins
+                + self.spill_losses
+                + self.io_retry_exhausted
+                > 0
+    }
+}
+
+/// A finalize whose stages ran but whose WAL commit failed: the
+/// already-encoded records and the spans of that finalize. The records
+/// are re-committed before any later operation may log (WAL order must
+/// keep matching apply order); only a retried
+/// [`DurableGlobalizer::finalize`] surfaces the stashed spans.
+struct PendingFinalize {
+    encoded: Vec<(u8, Vec<u8>)>,
+    out: Vec<Vec<Span>>,
+}
+
 /// [`NerGlobalizer`] with durable state: every batch and finalize is
 /// logged to a WAL before/after it applies, full snapshots land every
 /// `checkpoint_every` finalizes, and [`RetentionPolicy::SpillCold`]
@@ -553,10 +759,16 @@ pub struct DurableGlobalizer<T: ContextualTagger> {
     snaps: SnapshotStore,
     pool: Option<SpillPool>,
     dir: PathBuf,
+    io: IoHandle,
     checkpoint_every: usize,
     op_seq: u64,
     finalizes_since_snapshot: usize,
     stats: StoreStats,
+    degradation: DegradationReport,
+    pending_finalize: Option<PendingFinalize>,
+    /// `spill_pins + spill_losses` of `inner` at the last divergence
+    /// check — a change since then means new spill faults.
+    spill_faults_marked: u64,
 }
 
 impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
@@ -582,13 +794,27 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
     /// late digest mismatch. Stores written before fingerprints
     /// existed adopt the current fingerprint on first open.
     pub fn open_with_fingerprint<P: AsRef<Path>>(
-        mut inner: NerGlobalizer<T>,
+        inner: NerGlobalizer<T>,
         dir: P,
         checkpoint_every: usize,
         fingerprint: Option<u64>,
     ) -> Result<(Self, RecoveryReport), DurableError> {
+        Self::open_with_io(inner, dir, checkpoint_every, fingerprint, IoHandle::real())
+    }
+
+    /// [`Self::open_with_fingerprint`] over an explicit IO layer: the
+    /// WAL, snapshot store and spill pool all share `io`, so a chaos
+    /// plan sees every store IO call in one global order and the
+    /// retry/degradation machinery is exercised end to end.
+    pub fn open_with_io<P: AsRef<Path>>(
+        mut inner: NerGlobalizer<T>,
+        dir: P,
+        checkpoint_every: usize,
+        fingerprint: Option<u64>,
+        io: IoHandle,
+    ) -> Result<(Self, RecoveryReport), DurableError> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).map_err(StoreError::Io)?;
+        io.create_dir_all(&dir)?;
         if let Some(current) = fingerprint {
             let meta = dir.join(MODEL_META_FILE);
             match read_model_meta(&meta)? {
@@ -599,8 +825,8 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
                 None => write_model_meta(&meta, current)?,
             }
         }
-        let snaps = SnapshotStore::open(&dir)?;
-        let wal = Wal::open(&dir)?;
+        let snaps = SnapshotStore::open_with_io(&dir, io.clone())?;
+        let wal = Wal::open_with_io(&dir, DEFAULT_SEGMENT_BYTES, io.clone())?;
 
         let mut report = RecoveryReport::default();
         let mut op_seq = 0u64;
@@ -613,7 +839,9 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
         // The spill pool must exist before replay: replayed finalizes
         // under SpillCold spill exactly like the original run did.
         let mut pool = match inner.config().retention {
-            RetentionPolicy::SpillCold(_) => Some(SpillPool::create(dir.join("spill.cold"))?),
+            RetentionPolicy::SpillCold(_) => {
+                Some(SpillPool::create_with_io(dir.join("spill.cold"), io.clone())?)
+            }
             _ => None,
         };
 
@@ -650,6 +878,13 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
         let mut groups = groups.into_iter();
         let mut group: Vec<Vec<String>> = groups.next().unwrap_or_default();
         let mut prewarmed = false;
+        // Once a finalize flagged unverified appears, the writing run
+        // had diverged from fault-free replay, so every later digest
+        // (and eviction cross-check) in this WAL was computed on that
+        // diverged state and cannot be verified. A successful snapshot
+        // would have compacted the flagged records away — their
+        // presence means the degradation was never healed.
+        let mut divergent_replay = false;
 
         for record in records {
             if record.op_seq() <= op_seq {
@@ -673,15 +908,22 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
                     op_seq = seq;
                     report.replayed_batches += 1;
                 }
-                WalRecord::Finalize { op_seq: seq, digest, .. } => {
+                WalRecord::Finalize { op_seq: seq, digest, flags, .. } => {
                     inner.finalize_with_spill(pool.as_mut());
-                    let replayed = inner.state_digest();
-                    if replayed != digest {
-                        return Err(DurableError::DigestMismatch {
-                            op_seq: seq,
-                            logged: digest,
-                            replayed,
-                        });
+                    if flags & FINALIZE_FLAG_UNVERIFIED != 0 {
+                        divergent_replay = true;
+                    }
+                    if divergent_replay {
+                        report.unverified_finalizes += 1;
+                    } else {
+                        let replayed = inner.state_digest();
+                        if replayed != digest {
+                            return Err(DurableError::DigestMismatch {
+                                op_seq: seq,
+                                logged: digest,
+                                replayed,
+                            });
+                        }
                     }
                     op_seq = seq;
                     report.replayed_finalizes += 1;
@@ -691,7 +933,9 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
                     prewarmed = false;
                 }
                 WalRecord::Evict { first_retained, .. } => {
-                    if inner.tweet_base().first_retained() as u64 != first_retained {
+                    if !divergent_replay
+                        && inner.tweet_base().first_retained() as u64 != first_retained
+                    {
                         return Err(DurableError::Corrupt(
                             "eviction record contradicts replayed retention",
                         ));
@@ -711,6 +955,16 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
         report.resident_surfaces = inner.candidate_base().len();
         report.tweets = inner.tweet_base().len();
         report.digest = inner.state_digest();
+        let checkpoint_every = checkpoint_every.max(1);
+        // An unhealed divergence in the replayed WAL: new finalizes
+        // must stay flagged (older flagged digests make them
+        // unverifiable on the next replay) and the healing snapshot is
+        // pulled forward to the very next finalize.
+        let degradation = DegradationReport {
+            digest_unverified: divergent_replay,
+            ..Default::default()
+        };
+        let spill_faults_marked = inner.spill_pins() + inner.spill_losses();
         Ok((
             Self {
                 inner,
@@ -718,38 +972,98 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
                 snaps,
                 pool,
                 dir,
-                checkpoint_every: checkpoint_every.max(1),
+                io,
+                checkpoint_every,
                 op_seq,
-                finalizes_since_snapshot: 0,
+                finalizes_since_snapshot: if divergent_replay { checkpoint_every - 1 } else { 0 },
                 stats: StoreStats::default(),
+                degradation,
+                pending_finalize: None,
+                spill_faults_marked,
             },
             report,
         ))
     }
 
-    fn log(&mut self, record: &WalRecord) -> Result<(), DurableError> {
-        let (tag, payload) = record.encode();
-        let bytes = self.wal.append(tag, &payload)?;
-        self.stats.delta_bytes_last += bytes;
-        self.stats.wal_bytes_total += bytes;
-        Ok(())
+    /// Commits pre-encoded records to the WAL as one atomic
+    /// append+fsync, maintaining byte accounting and the degradation
+    /// flags. On failure nothing of the group is visible to replay:
+    /// the caller's operation did not durably happen.
+    fn commit_encoded(&mut self, encoded: &[(u8, Vec<u8>)]) -> Result<(), DurableError> {
+        let refs: Vec<(u8, &[u8])> = encoded.iter().map(|(t, p)| (*t, p.as_slice())).collect();
+        match self.wal.commit(&refs) {
+            Ok(bytes) => {
+                self.stats.delta_bytes_last += bytes;
+                self.stats.wal_bytes_total += bytes;
+                // Space came back (or was never the problem): leave
+                // read-only mode.
+                self.degradation.read_only = false;
+                Ok(())
+            }
+            Err(e) => {
+                self.degradation.wal_commit_failures += 1;
+                let cause = if e.is_no_space() {
+                    self.degradation.read_only = true;
+                    DegradationCause::DiskFull
+                } else {
+                    DegradationCause::WalCommit
+                };
+                self.push_event(cause, e.to_string());
+                Err(e.into())
+            }
+        }
+    }
+
+    fn push_event(&mut self, cause: DegradationCause, detail: String) {
+        if self.degradation.events.len() < MAX_DEGRADATION_EVENTS {
+            self.degradation.events.push(DegradationEvent { op_seq: self.op_seq, cause, detail });
+        } else {
+            self.degradation.dropped_events += 1;
+        }
+    }
+
+    /// Re-commits a stashed finalize, returning its spans. `Ok(None)`
+    /// means nothing was pending. Must succeed before any later record
+    /// may be logged — WAL order is apply order.
+    fn commit_pending(&mut self) -> Result<Option<Vec<Vec<Span>>>, DurableError> {
+        let Some(pending) = self.pending_finalize.take() else {
+            return Ok(None);
+        };
+        match self.commit_encoded(&pending.encoded) {
+            Ok(()) => {
+                self.stats.finalizes += 1;
+                self.after_finalize_commit();
+                Ok(Some(pending.out))
+            }
+            Err(e) => {
+                self.pending_finalize = Some(pending);
+                Err(e)
+            }
+        }
     }
 
     /// Durably logs the batch inputs, then ingests them
     /// (write-ahead: a crash after the log entry replays the batch; a
     /// crash before it loses the batch wholesale — never half of it).
+    ///
+    /// On a WAL commit failure the batch is *rejected with a typed
+    /// error* — no state changes, `op_seq` does not advance, and the
+    /// same batch may simply be submitted again. An out-of-space
+    /// failure additionally flips the store read-only (see
+    /// [`Self::degradation`]) until a commit succeeds.
     pub fn process_batch(
         &mut self,
         batch: Vec<Vec<String>>,
     ) -> Result<(BatchOutput, BatchReport), DurableError> {
         self.stats.delta_bytes_last = 0;
-        self.op_seq += 1;
-        self.log(&WalRecord::Batch {
-            op_seq: self.op_seq,
+        self.commit_pending()?;
+        let record = WalRecord::Batch {
+            op_seq: self.op_seq + 1,
             ids: None,
             tweets: batch.clone(),
-        })?;
-        self.wal.sync()?;
+        };
+        self.commit_encoded(&[record.encode()])?;
+        self.op_seq += 1;
         self.stats.batches += 1;
         Ok(self.inner.try_process_batch_owned(batch))
     }
@@ -760,14 +1074,15 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
         batch: Vec<(u64, Vec<String>)>,
     ) -> Result<(BatchOutput, BatchReport), DurableError> {
         self.stats.delta_bytes_last = 0;
-        self.op_seq += 1;
+        self.commit_pending()?;
         let (ids, tweets): (Vec<u64>, Vec<Vec<String>>) = batch.into_iter().unzip();
-        self.log(&WalRecord::Batch {
-            op_seq: self.op_seq,
+        let record = WalRecord::Batch {
+            op_seq: self.op_seq + 1,
             ids: Some(ids.clone()),
             tweets: tweets.clone(),
-        })?;
-        self.wal.sync()?;
+        };
+        self.commit_encoded(&[record.encode()])?;
+        self.op_seq += 1;
         self.stats.batches += 1;
         Ok(self.inner.try_process_batch_with_ids(ids.into_iter().zip(tweets).collect()))
     }
@@ -776,12 +1091,44 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
     /// (with its post-state digest) plus any derived eviction/spill
     /// transitions, and snapshots + compacts every `checkpoint_every`
     /// finalizes.
+    ///
+    /// Failure handling, rung by rung:
+    /// - **WAL commit fails**: the stages already ran, so the records
+    ///   and spans are stashed and a typed error returned — the spans
+    ///   must not be acknowledged. The next successful durable
+    ///   operation re-commits the stashed records first (keeping WAL
+    ///   order equal to apply order); retrying `finalize` itself
+    ///   returns the stashed spans without re-running the stages.
+    /// - **Spill fault during the stages**: resident state diverged
+    ///   from fault-free replay, so this and subsequent finalize marks
+    ///   are flagged digest-unverifiable and the next snapshot is
+    ///   pulled forward to heal (a snapshot re-baselines replay).
+    /// - **Snapshot fails**: the finalize still succeeds; the store
+    ///   degrades to WAL-only and retries the snapshot next finalize.
     pub fn finalize(&mut self) -> Result<Vec<Vec<Span>>, DurableError> {
+        if self.pending_finalize.is_some() {
+            let out = self.commit_pending()?.expect("pending finalize checked above");
+            return Ok(out);
+        }
         let first_retained_before = self.inner.tweet_base().first_retained();
         self.op_seq += 1;
         let out = self.inner.finalize_with_spill(self.pool.as_mut());
 
-        self.log(&WalRecord::Finalize {
+        // Spill faults (pins, losses — whether from these stages or
+        // the re-spill after the last snapshot) make resident state
+        // diverge from what fault-free replay of this WAL rebuilds:
+        // flag the digests and pull the healing snapshot forward.
+        let spill_faults = self.inner.spill_pins() + self.inner.spill_losses();
+        if spill_faults != self.spill_faults_marked {
+            self.spill_faults_marked = spill_faults;
+            if !self.degradation.digest_unverified {
+                self.degradation.digest_unverified = true;
+                self.finalizes_since_snapshot = self.checkpoint_every - 1;
+            }
+        }
+        let flags = if self.degradation.digest_unverified { FINALIZE_FLAG_UNVERIFIED } else { 0 };
+
+        let mut records = vec![WalRecord::Finalize {
             op_seq: self.op_seq,
             watermark: self.inner.scan_watermark() as u64,
             first_retained: self.inner.tweet_base().first_retained() as u64,
@@ -789,33 +1136,47 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
             surfaces: self.inner.candidate_base().len() as u64,
             mentions: self.inner.candidate_base().total_mentions() as u64,
             digest: self.inner.state_digest(),
-        })?;
+            flags,
+        }];
         let first_retained_after = self.inner.tweet_base().first_retained();
         if first_retained_after != first_retained_before {
-            self.log(&WalRecord::Evict {
+            records.push(WalRecord::Evict {
                 op_seq: self.op_seq,
                 first_retained: first_retained_after as u64,
-            })?;
+            });
         }
         if let Some(pool) = self.pool.as_mut() {
             let spills = pool.take_spill_log();
             if !spills.is_empty() {
-                self.log(&WalRecord::Spill {
+                records.push(WalRecord::Spill {
                     op_seq: self.op_seq,
                     count: spills.len() as u64,
                     bytes: spills.iter().map(|(_, b)| b).sum(),
-                })?;
+                });
             }
         }
-        self.wal.sync()?;
+        let encoded: Vec<(u8, Vec<u8>)> = records.iter().map(|r| r.encode()).collect();
+        if let Err(e) = self.commit_encoded(&encoded) {
+            // State advanced (op_seq stays bumped) but the records are
+            // not durable; stash them for re-commit.
+            self.pending_finalize = Some(PendingFinalize { encoded, out });
+            return Err(e);
+        }
         self.stats.finalizes += 1;
+        self.after_finalize_commit();
+        Ok(out)
+    }
 
+    /// Bumps the snapshot cadence counter and, when due, attempts the
+    /// snapshot — downgrading a failure to WAL-only degradation
+    /// instead of failing the (already durable) finalize. The counter
+    /// stays at the threshold on failure, so the next finalize
+    /// retries.
+    fn after_finalize_commit(&mut self) {
         self.finalizes_since_snapshot += 1;
         if self.finalizes_since_snapshot >= self.checkpoint_every {
-            self.snapshot()?;
-            self.finalizes_since_snapshot = 0;
+            let _ = self.snapshot_now();
         }
-        Ok(out)
     }
 
     /// Writes a full snapshot at the current `op_seq`, then compacts:
@@ -823,28 +1184,91 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
     /// the two newest snapshots pruned. With a spill pool, the state
     /// is rehydrated first so the snapshot is complete, and re-spilled
     /// afterwards (which also compacts the spill file).
+    ///
+    /// A stashed finalize is re-committed first (WAL order is apply
+    /// order); its spans are dropped here — only a retried
+    /// [`Self::finalize`] surfaces them.
     pub fn snapshot(&mut self) -> Result<u64, DurableError> {
-        if let Some(pool) = self.pool.as_mut() {
-            self.inner.rehydrate_all(pool)?;
+        self.commit_pending()?;
+        self.snapshot_now()
+    }
+
+    fn snapshot_now(&mut self) -> Result<u64, DurableError> {
+        // Rehydrate so the snapshot is complete. A failure loses the
+        // affected surface (its index slot is consumed): record the
+        // loss, flag digests unverifiable, and degrade to WAL-only —
+        // the snapshot is retried at the next finalize.
+        let rehydrated = match self.pool.as_mut() {
+            Some(pool) => self.inner.rehydrate_all(pool),
+            None => Ok(()),
+        };
+        if let Err(e) = rehydrated {
+            self.degradation.snapshot_failures += 1;
+            self.degradation.snapshot_lagging = true;
+            self.degradation.rehydrate_losses += 1;
+            self.degradation.digest_unverified = true;
+            self.push_event(DegradationCause::SnapshotRehydrate, e.to_string());
+            return Err(e.into());
         }
         let payload = self.inner.export_state_bytes();
-        let bytes = self.snaps.write(self.op_seq, &payload)?;
+        let bytes = match self.snaps.write(self.op_seq, &payload) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                self.degradation.snapshot_failures += 1;
+                self.degradation.snapshot_lagging = true;
+                let cause = if e.is_no_space() {
+                    DegradationCause::DiskFull
+                } else {
+                    DegradationCause::SnapshotWrite
+                };
+                self.push_event(cause, e.to_string());
+                return Err(e.into());
+            }
+        };
         self.stats.snapshot_bytes_last = bytes;
         self.stats.snapshots += 1;
+        // The snapshot is durable: recovery no longer needs the WAL
+        // prefix, so WAL-only mode ends and any spill-divergence
+        // window is healed (replay now starts from this snapshot).
+        self.degradation.snapshot_lagging = false;
+        self.degradation.digest_unverified = false;
+        self.finalizes_since_snapshot = 0;
 
         // Compaction: everything at or below the snapshot's op_seq is
         // now redundant. Rotate so the active segment starts fresh,
         // then drop the older segments; keep one fallback snapshot.
         // The audit marker goes into the *new* segment so it survives
-        // until the next compaction.
-        let active = self.wal.rotate()?;
-        self.wal.compact_below(active)?;
-        self.log(&WalRecord::Snapshot { op_seq: self.op_seq, bytes })?;
-        self.wal.sync()?;
-        let mut snapshots = self.snaps.list()?;
-        snapshots.sort_unstable();
-        if snapshots.len() > 2 {
-            self.snaps.prune_below(snapshots[snapshots.len() - 2])?;
+        // until the next compaction. All of this is best-effort —
+        // replay filters stale records by op_seq, so a failure only
+        // costs disk space: degrade, don't fail.
+        match self.wal.rotate() {
+            Ok(active) => {
+                if let Err(e) = self.wal.compact_below(active) {
+                    self.degradation.compaction_failures += 1;
+                    self.push_event(DegradationCause::Compaction, e.to_string());
+                }
+            }
+            Err(e) => {
+                self.degradation.compaction_failures += 1;
+                self.push_event(DegradationCause::Compaction, e.to_string());
+            }
+        }
+        let marker = WalRecord::Snapshot { op_seq: self.op_seq, bytes }.encode();
+        let _ = self.commit_encoded(&[marker]); // audit-only
+        match self.snaps.list() {
+            Ok(mut snapshots) => {
+                snapshots.sort_unstable();
+                if snapshots.len() > 2 {
+                    if let Err(e) = self.snaps.prune_below(snapshots[snapshots.len() - 2]) {
+                        self.degradation.compaction_failures += 1;
+                        self.push_event(DegradationCause::Compaction, e.to_string());
+                    }
+                }
+            }
+            Err(e) => {
+                self.degradation.compaction_failures += 1;
+                self.push_event(DegradationCause::Compaction, e.to_string());
+            }
         }
 
         if let Some(pool) = self.pool.as_mut() {
@@ -886,6 +1310,31 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
     /// Byte accounting for the delta-vs-snapshot comparison.
     pub fn stats(&self) -> StoreStats {
         self.stats
+    }
+
+    /// Typed storage-health report: degradation flags, cumulative
+    /// failure counters, spill pin/loss totals and IO retry stats
+    /// (see the module docs' degradation ladder).
+    pub fn degradation(&self) -> DegradationReport {
+        let mut report = self.degradation.clone();
+        report.spill_pins = self.inner.spill_pins();
+        report.spill_losses = self.inner.spill_losses() + report.rehydrate_losses;
+        let io = self.io.stats();
+        report.io_retries = io.transient_retries;
+        report.io_retry_exhausted = io.retry_exhausted;
+        report
+    }
+
+    /// Raw retry counters of the shared IO layer.
+    pub fn io_stats(&self) -> IoStatsSnapshot {
+        self.io.stats()
+    }
+
+    /// Whether a finalize ran whose WAL records are not yet durable.
+    /// Its spans are returned by the next successful
+    /// [`Self::finalize`]; until then they are unacknowledged.
+    pub fn has_pending_finalize(&self) -> bool {
+        self.pending_finalize.is_some()
     }
 }
 
@@ -932,6 +1381,17 @@ mod tests {
                 surfaces: 6,
                 mentions: 7,
                 digest: 0xDEAD_BEEF,
+                flags: 0,
+            },
+            WalRecord::Finalize {
+                op_seq: 4,
+                watermark: 4,
+                first_retained: 1,
+                ctrie_version: 5,
+                surfaces: 6,
+                mentions: 7,
+                digest: 0xDEAD_BEEF,
+                flags: FINALIZE_FLAG_UNVERIFIED,
             },
             WalRecord::Evict { op_seq: 3, first_retained: 2 },
             WalRecord::Spill { op_seq: 3, count: 2, bytes: 1024 },
@@ -942,6 +1402,30 @@ mod tests {
             let back = WalRecord::decode(tag, &payload).expect("decode");
             assert_eq!(&back, r);
         }
+    }
+
+    #[test]
+    fn finalize_flags_pick_the_record_version() {
+        let mut r = WalRecord::Finalize {
+            op_seq: 1,
+            watermark: 0,
+            first_retained: 0,
+            ctrie_version: 0,
+            surfaces: 0,
+            mentions: 0,
+            digest: 0,
+            flags: 0,
+        };
+        let (tag, payload) = r.encode();
+        assert_eq!(tag, TAG_FINALIZE, "flagless finalize stays v1");
+        assert_eq!(payload.len(), 7 * 8);
+        if let WalRecord::Finalize { flags, .. } = &mut r {
+            *flags = FINALIZE_FLAG_UNVERIFIED;
+        }
+        let (tag, payload) = r.encode();
+        assert_eq!(tag, TAG_FINALIZE_V2, "flagged finalize upgrades to v2");
+        assert_eq!(payload.len(), 8 * 8);
+        assert_eq!(WalRecord::decode(tag, &payload).expect("decode"), r);
     }
 
     #[test]

@@ -43,8 +43,9 @@ pub use bases::{CandidateBase, CandidateCluster, MentionRecord, SurfaceEntry, Tw
 pub use checkpoint::PipelineCheckpoint;
 pub use classifier::{CandidateExample, ClassifierConfig, EntityClassifier};
 pub use durable::{
-    model_fingerprint, DurableError, DurableGlobalizer, RecoveryReport, SpillPool, StoreStats,
-    SPILL_CACHE_ENV,
+    model_fingerprint, DegradationCause, DegradationEvent, DegradationMode, DegradationReport,
+    DurableError, DurableGlobalizer, RecoveryReport, SpillPool, StoreStats,
+    MAX_DEGRADATION_EVENTS, SPILL_CACHE_ENV,
 };
 pub use persist::{GlobalizerBundle, PersistError};
 pub use phrase::{PhraseEmbedder, PhraseEmbedderConfig, PhraseLoss};

@@ -257,6 +257,16 @@ pub struct NerGlobalizer<T: ContextualTagger> {
     /// [`Self::take_finalize_errors`]. Transient diagnostics — not part
     /// of checkpointed state.
     finalize_errors: Vec<TaskError>,
+    /// Surfaces kept resident because their cold spill failed
+    /// (lossless degradation: the entry simply stays in memory).
+    /// Transient diagnostics, like `finalize_errors`.
+    spill_pins: u64,
+    /// Spill reads that failed (rehydration or emit): the affected
+    /// entry restarted empty or its spans were missing from one
+    /// finalize's output. Lossy degradation — a nonzero count means
+    /// live state/output may diverge from a clean run until the next
+    /// full rebuild or snapshot recovery.
+    spill_losses: u64,
     /// Pre-computed encodings keyed by *truncated* token vector,
     /// installed during WAL replay (see
     /// [`Self::prewarm_replay_encodes`]). Consulted before
@@ -282,6 +292,8 @@ impl<T: ContextualTagger + Clone> Clone for NerGlobalizer<T> {
             mention_cache: self.mention_cache.clone(),
             seen_ids: self.seen_ids.clone(),
             finalize_errors: self.finalize_errors.clone(),
+            spill_pins: self.spill_pins,
+            spill_losses: self.spill_losses,
             replay_memo: self.replay_memo.clone(),
         }
     }
@@ -316,6 +328,8 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
             mention_cache: HashMap::new(),
             seen_ids: BTreeSet::new(),
             finalize_errors: Vec::new(),
+            spill_pins: 0,
+            spill_losses: 0,
             replay_memo: HashMap::new(),
         }
     }
@@ -629,6 +643,9 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
                 self.emit(mode, pool.as_deref_mut(), &mut spill_errors)
             }
         };
+        // Every error emit pushed is an unreadable spilled entry whose
+        // spans are missing from this finalize's output.
+        self.spill_losses += spill_errors.len() as u64;
         self.enforce_retention();
         if let Some(pool) = pool {
             self.enforce_spill(pool, &mut spill_errors);
@@ -704,6 +721,7 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
                 })
                 .collect();
             if let Err(e) = pool.spill(&surface, entry, &cache) {
+                self.spill_pins += 1;
                 errors.push(TaskError {
                     index: 0,
                     payload: surface,
@@ -949,14 +967,17 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
                                             self.mention_cache.extend(cache);
                                         }
                                         Ok(None) => {}
-                                        Err(e) => self.finalize_errors.push(TaskError {
-                                            index: start + k,
-                                            payload: surface.clone(),
-                                            message: format!(
-                                                "spill rehydration failed, \
-                                                 entry restarts empty: {e}"
-                                            ),
-                                        }),
+                                        Err(e) => {
+                                            self.spill_losses += 1;
+                                            self.finalize_errors.push(TaskError {
+                                                index: start + k,
+                                                payload: surface.clone(),
+                                                message: format!(
+                                                    "spill rehydration failed, \
+                                                     entry restarts empty: {e}"
+                                                ),
+                                            })
+                                        }
                                     }
                                 }
                             }
@@ -1175,6 +1196,18 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     /// scans since the last drain (empty on a clean stream).
     pub fn take_finalize_errors(&mut self) -> Vec<TaskError> {
         std::mem::take(&mut self.finalize_errors)
+    }
+
+    /// Surfaces kept resident because a cold spill failed (lossless
+    /// degradation), since this pipeline was built.
+    pub fn spill_pins(&self) -> u64 {
+        self.spill_pins
+    }
+
+    /// Failed spill reads (rehydration or emit) — lossy degradation;
+    /// see the field docs.
+    pub fn spill_losses(&self) -> u64 {
+        self.spill_losses
     }
 
     /// Snapshots the pipeline's stream state — CTrie, tweet store,

@@ -112,6 +112,175 @@ impl FaultPlan {
     }
 }
 
+/// The storage operations an IO fault schedule can target. Mirrors the
+/// `StoreIo` trait in `ngl-store`; kept here so fault *planning* stays
+/// in the same crate as [`FaultPlan`] while the IO layer that consumes
+/// the plan lives with the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IoOp {
+    /// Reading a whole file or a positional span.
+    Read,
+    /// Appending or overwriting file bytes.
+    Write,
+    /// Flushing file contents to stable storage.
+    Sync,
+    /// Atomically renaming a file (snapshot publication).
+    Rename,
+    /// Removing a file (compaction, pruning).
+    Remove,
+}
+
+impl IoOp {
+    /// Every op, in a fixed order (used by seeded plan generation).
+    pub const ALL: [IoOp; 5] = [IoOp::Read, IoOp::Write, IoOp::Sync, IoOp::Rename, IoOp::Remove];
+}
+
+/// Coarse classification of store paths, so a fault schedule can say
+/// "the 3rd write to *any* WAL segment" without hard-coding segment
+/// file names (which shift as the log rotates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IoPathClass {
+    /// WAL segment files (`wal-*.log`).
+    Wal,
+    /// Snapshot files, including in-flight temporaries (`snap-*`).
+    Snapshot,
+    /// The cold-surface spill file.
+    Spill,
+    /// Model fingerprint metadata.
+    Meta,
+    /// Anything else (directories, unknown files).
+    Other,
+}
+
+impl IoPathClass {
+    /// The classes seeded plans draw faults from. `Meta` is excluded:
+    /// the fingerprint file is written once at open, before any fault
+    /// schedule meaningfully applies, and `Other` is a catch-all.
+    pub const FAULTABLE: [IoPathClass; 3] =
+        [IoPathClass::Wal, IoPathClass::Snapshot, IoPathClass::Spill];
+}
+
+/// The kinds of IO faults a chaos IO layer knows how to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// A transient failure (EINTR-style): the op fails before touching
+    /// the file; an immediate retry may succeed.
+    Transient,
+    /// Disk full (ENOSPC) for `span` consecutive calls of the matched
+    /// (op, class) pair, starting at the scheduled index.
+    NoSpace { span: u32 },
+    /// A torn write: only `keep_pct`% of the buffer reaches the file
+    /// before the op fails. Models a partial write that a crash (or a
+    /// lying filesystem) leaves behind; never retried transparently.
+    TornWrite { keep_pct: u8 },
+    /// fsync reports failure after data may or may not have reached
+    /// stable storage.
+    SyncFail,
+}
+
+/// One scheduled IO fault: the `index`-th call of `op` against a path
+/// of class `class` fails with `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoFault {
+    /// Operation the fault targets.
+    pub op: IoOp,
+    /// Path class the fault targets.
+    pub class: IoPathClass,
+    /// Zero-based per-(op, class) call index the fault lands on.
+    pub index: u64,
+    /// How the matched call fails.
+    pub kind: IoFaultKind,
+}
+
+/// A deterministic schedule of IO faults keyed by (op, path-class,
+/// call-index). Like [`FaultPlan`] it is a pure value passed into the
+/// code under test — no globals — so a chaos run is exactly
+/// reproducible from its seed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    faults: BTreeMap<(IoOp, IoPathClass, u64), IoFaultKind>,
+}
+
+impl IoFaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion of one fault (replacing any fault
+    /// already planned at the same (op, class, index) key).
+    pub fn with_fault(mut self, fault: IoFault) -> Self {
+        self.faults.insert((fault.op, fault.class, fault.index), fault.kind);
+        self
+    }
+
+    /// A pseudo-random schedule of (up to) `n_faults` IO faults, fully
+    /// determined by `seed`. Faults land on WAL/snapshot/spill paths at
+    /// per-(op, class) call indices in `0..index_bound`, with kinds
+    /// matched to ops (torn writes only on writes, sync failures only
+    /// on syncs).
+    pub fn seeded(seed: u64, n_faults: usize, index_bound: u64) -> Self {
+        let mut plan = Self::new();
+        if index_bound == 0 {
+            return plan;
+        }
+        let mut rng = SplitMix64::new(seed ^ 0x10_57_0A_05_FA_17_5Eu64);
+        // Bounded attempts so a tiny index space cannot loop forever.
+        let mut attempts = 0usize;
+        while plan.faults.len() < n_faults && attempts < n_faults * 16 + 64 {
+            attempts += 1;
+            let op = IoOp::ALL[rng.next_below(IoOp::ALL.len() as u64) as usize];
+            let class =
+                IoPathClass::FAULTABLE[rng.next_below(IoPathClass::FAULTABLE.len() as u64) as usize];
+            let index = rng.next_below(index_bound);
+            let kind = match (op, rng.next_below(4)) {
+                (IoOp::Sync, 0 | 1) => IoFaultKind::SyncFail,
+                (IoOp::Write, 0) => IoFaultKind::TornWrite {
+                    keep_pct: (rng.next_below(100)) as u8,
+                },
+                (_, 1) => IoFaultKind::NoSpace {
+                    span: 1 + rng.next_below(3) as u32,
+                },
+                _ => IoFaultKind::Transient,
+            };
+            plan.faults.entry((op, class, index)).or_insert(kind);
+        }
+        plan
+    }
+
+    /// The fault scheduled for the `index`-th call of `op` on `class`,
+    /// if any. `NoSpace { span }` faults match their whole span:
+    /// indices `start..start + span`.
+    pub fn fault_at(&self, op: IoOp, class: IoPathClass, index: u64) -> Option<IoFaultKind> {
+        if let Some(&kind) = self.faults.get(&(op, class, index)) {
+            return Some(kind);
+        }
+        // Walk earlier NoSpace faults whose span covers `index`.
+        self.faults
+            .range((op, class, 0)..(op, class, index))
+            .rev()
+            .find_map(|(&(_, _, start), &kind)| match kind {
+                IoFaultKind::NoSpace { span } if index < start + span as u64 => Some(kind),
+                _ => None,
+            })
+    }
+
+    /// All planned faults in key order.
+    pub fn iter(&self) -> impl Iterator<Item = IoFault> + '_ {
+        self.faults.iter().map(|(&(op, class, index), &kind)| IoFault { op, class, index, kind })
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
 /// SplitMix64 — a tiny, high-quality, dependency-free PRNG. Public so
 /// that test harnesses can derive reproducible streams (inputs, split
 /// points, retention budgets) from a seed without pulling in an
@@ -183,6 +352,59 @@ mod tests {
         assert_eq!(plan.indices_of(FaultKind::TaskPanic), vec![2, 9]);
         assert_eq!(plan.indices_of(FaultKind::DuplicateId), Vec::<usize>::new());
         assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn seeded_io_plans_are_reproducible_and_kind_matched() {
+        let a = IoFaultPlan::seeded(42, 12, 32);
+        let b = IoFaultPlan::seeded(42, 12, 32);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for fault in a.iter() {
+            assert!(fault.index < 32);
+            match fault.kind {
+                IoFaultKind::TornWrite { .. } => assert_eq!(fault.op, IoOp::Write),
+                IoFaultKind::SyncFail => assert_eq!(fault.op, IoOp::Sync),
+                IoFaultKind::Transient | IoFaultKind::NoSpace { .. } => {}
+            }
+        }
+        assert_ne!(a, IoFaultPlan::seeded(43, 12, 32));
+    }
+
+    #[test]
+    fn io_plan_nospace_spans_cover_following_indices() {
+        let plan = IoFaultPlan::new().with_fault(IoFault {
+            op: IoOp::Write,
+            class: IoPathClass::Wal,
+            index: 5,
+            kind: IoFaultKind::NoSpace { span: 3 },
+        });
+        assert_eq!(plan.fault_at(IoOp::Write, IoPathClass::Wal, 4), None);
+        for i in 5..8 {
+            assert_eq!(
+                plan.fault_at(IoOp::Write, IoPathClass::Wal, i),
+                Some(IoFaultKind::NoSpace { span: 3 })
+            );
+        }
+        assert_eq!(plan.fault_at(IoOp::Write, IoPathClass::Wal, 8), None);
+        assert_eq!(plan.fault_at(IoOp::Write, IoPathClass::Spill, 5), None);
+        assert_eq!(plan.fault_at(IoOp::Sync, IoPathClass::Wal, 5), None);
+    }
+
+    #[test]
+    fn io_plan_point_faults_do_not_bleed() {
+        let plan = IoFaultPlan::new().with_fault(IoFault {
+            op: IoOp::Sync,
+            class: IoPathClass::Snapshot,
+            index: 2,
+            kind: IoFaultKind::SyncFail,
+        });
+        assert_eq!(plan.fault_at(IoOp::Sync, IoPathClass::Snapshot, 1), None);
+        assert_eq!(
+            plan.fault_at(IoOp::Sync, IoPathClass::Snapshot, 2),
+            Some(IoFaultKind::SyncFail)
+        );
+        assert_eq!(plan.fault_at(IoOp::Sync, IoPathClass::Snapshot, 3), None);
     }
 
     #[test]

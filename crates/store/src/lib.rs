@@ -41,10 +41,27 @@
 //! candidates newest-first and silently skips corrupt ones — recovery
 //! always finds the newest snapshot that still verifies.
 
+//!
+//! ## Injectable IO and fault handling
+//!
+//! All three components perform disk IO through the [`io::StoreIo`]
+//! layer (shared as a cloneable [`IoHandle`]): production uses the
+//! passthrough [`io::RealIo`], chaos tests swap in [`io::ChaosIo`]
+//! with a seeded fault plan. Transient errors are retried inside the
+//! handle under a bounded [`io::RetryPolicy`]; persistent and
+//! disk-full errors surface as typed [`StoreError`]s that the layers
+//! above (see `ngl-core::durable`) translate into graceful
+//! degradation instead of a panic.
+
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+
+pub mod io;
+
+pub use io::{
+    classify_io_error, ChaosIo, IoErrorClass, IoHandle, IoStatsSnapshot, RealIo, RetryPolicy,
+    Sleeper, StoreIo, STORE_RETRIES_ENV,
+};
 
 /// Per-record frame header: `len u32 | tag u8 | checksum u64`.
 const FRAME_HEADER: usize = 4 + 1 + 8;
@@ -52,7 +69,7 @@ const FRAME_HEADER: usize = 4 + 1 + 8;
 /// must never trigger a giant allocation.
 const MAX_PAYLOAD: usize = 1 << 30;
 /// Default segment roll-over size.
-const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
 
 const SNAP_MAGIC: &[u8; 4] = b"NGLS";
 const SNAP_VERSION: u32 = 1;
@@ -156,10 +173,9 @@ fn segment_path(dir: &Path, seq: u64) -> PathBuf {
 }
 
 /// Lists `(seq, path)` of every WAL segment in `dir`, ascending.
-fn list_segments(dir: &Path) -> Result<BTreeMap<u64, PathBuf>, StoreError> {
+fn list_segments(io: &IoHandle, dir: &Path) -> Result<BTreeMap<u64, PathBuf>, StoreError> {
     let mut out = BTreeMap::new();
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
+    for path in io.list_dir(dir)? {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
         if let Some(seq) = name
             .strip_prefix("wal-")
@@ -174,13 +190,18 @@ fn list_segments(dir: &Path) -> Result<BTreeMap<u64, PathBuf>, StoreError> {
 
 /// A segment-based append-only write-ahead log (see the module docs).
 pub struct Wal {
+    io: IoHandle,
     dir: PathBuf,
     active_seq: u64,
-    active: File,
     active_len: u64,
     segment_bytes: u64,
-    /// Whether `open` had to cut a torn tail off the active segment.
+    /// Whether `open` had to cut a torn tail off a segment.
     repaired_tail: bool,
+    /// `(seq, valid_len)` of a failed in-process rollback: a commit
+    /// left torn bytes on disk and couldn't truncate them. The next
+    /// commit (or explicit [`Wal::repair`]) retries the truncation
+    /// before writing anything new.
+    pending_repair: Option<(u64, u64)>,
 }
 
 impl Wal {
@@ -195,29 +216,57 @@ impl Wal {
         dir: P,
         segment_bytes: u64,
     ) -> Result<Self, StoreError> {
+        Self::open_with_io(dir, segment_bytes, IoHandle::real())
+    }
+
+    /// [`Self::open`] over an explicit IO layer (chaos tests inject
+    /// faults here).
+    pub fn open_with_io<P: AsRef<Path>>(
+        dir: P,
+        segment_bytes: u64,
+        io: IoHandle,
+    ) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
-        let segments = list_segments(&dir)?;
+        io.create_dir_all(&dir)?;
+        let segments = list_segments(&io, &dir)?;
         let active_seq = segments.keys().next_back().copied().unwrap_or(0);
-        let path = segment_path(&dir, active_seq);
         let mut repaired_tail = false;
-        let active_len = if path.exists() {
-            // Repair the tail: keep exactly the checksum-valid prefix so
-            // future appends continue a readable log.
-            let data = std::fs::read(&path)?;
+        let mut active_len = 0;
+        // Repair the tail of the last segment holding data: keep
+        // exactly the checksum-valid prefix so future appends continue
+        // a readable log. Trailing *empty* segments (leaked by a
+        // faulted rotation) are skipped — they hold nothing to repair,
+        // and appends resume in the highest-numbered one.
+        for (&seq, path) in segments.iter().rev() {
+            let data = io.read_file(path)?;
+            if data.is_empty() {
+                continue;
+            }
             let scan = scan_segment(&data);
             if !scan.clean {
-                let f = OpenOptions::new().write(true).open(&path)?;
-                f.set_len(scan.valid_len as u64)?;
-                f.sync_all()?;
+                io.set_len(path, scan.valid_len as u64)?;
+                io.sync(path)?;
                 repaired_tail = true;
             }
-            scan.valid_len as u64
-        } else {
-            0
-        };
-        let active = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Self { dir, active_seq, active, active_len, segment_bytes, repaired_tail })
+            if seq == active_seq {
+                active_len = scan.valid_len as u64;
+            }
+            break;
+        }
+        if !segments.contains_key(&active_seq) {
+            // Fresh log: materialize segment zero so `segments()` and
+            // `sync()` see it, matching the pre-IO-layer behaviour.
+            io.write_at(&segment_path(&dir, active_seq), 0, &[])?;
+        }
+        Ok(Self {
+            io,
+            dir,
+            active_seq,
+            active_len,
+            segment_bytes,
+            repaired_tail,
+            pending_repair: None,
+        })
     }
 
     /// Whether [`Self::open`] found (and cut off) a torn tail.
@@ -235,61 +284,160 @@ impl Wal {
         self.active_seq
     }
 
+    /// Retry counters of the underlying IO handle.
+    pub fn io_stats(&self) -> IoStatsSnapshot {
+        self.io.stats()
+    }
+
     /// Sequence numbers of every on-disk segment, ascending.
     pub fn segments(&self) -> Result<Vec<u64>, StoreError> {
-        Ok(list_segments(&self.dir)?.into_keys().collect())
+        Ok(list_segments(&self.io, &self.dir)?.into_keys().collect())
     }
 
     /// Total bytes across all on-disk segments.
     pub fn total_bytes(&self) -> Result<u64, StoreError> {
         let mut total = 0;
-        for path in list_segments(&self.dir)?.values() {
-            total += std::fs::metadata(path)?.len();
+        for path in list_segments(&self.io, &self.dir)?.values() {
+            total += self.io.file_len(path)?;
         }
         Ok(total)
     }
 
-    /// Appends one record, rolling to a new segment first if the active
-    /// one is full. Returns the number of bytes written (frame included).
-    pub fn append(&mut self, tag: u8, payload: &[u8]) -> Result<u64, StoreError> {
-        assert!(payload.len() <= MAX_PAYLOAD, "record payload over MAX_PAYLOAD");
-        if self.active_len >= self.segment_bytes {
-            self.rotate()?;
+    /// Retries the truncation a failed commit rollback left behind.
+    /// Until it succeeds, the segment carries torn bytes past
+    /// `active_len` that every new write must land *after* truncating —
+    /// otherwise a reader could see garbage spliced between records.
+    pub fn repair(&mut self) -> Result<(), StoreError> {
+        if let Some((seq, valid_len)) = self.pending_repair {
+            let path = segment_path(&self.dir, seq);
+            self.io.set_len(&path, valid_len)?;
+            self.pending_repair = None;
         }
+        Ok(())
+    }
+
+    /// Whether a failed rollback is waiting for [`Self::repair`].
+    pub fn needs_repair(&self) -> bool {
+        self.pending_repair.is_some()
+    }
+
+    /// Encodes one record frame.
+    fn frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+        assert!(payload.len() <= MAX_PAYLOAD, "record payload over MAX_PAYLOAD");
         let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.push(tag);
         frame.extend_from_slice(&fnv1a64_parts(&[&[tag], payload]).to_le_bytes());
         frame.extend_from_slice(payload);
-        self.active.write_all(&frame)?;
+        frame
+    }
+
+    /// Appends one record, rolling to a new segment first if the active
+    /// one is full. Returns the number of bytes written (frame included).
+    ///
+    /// The record is **not** durable until [`Self::sync`] succeeds; for
+    /// an all-or-nothing durable append use [`Self::commit`].
+    pub fn append(&mut self, tag: u8, payload: &[u8]) -> Result<u64, StoreError> {
+        self.repair()?;
+        if self.active_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        let frame = Self::frame(tag, payload);
+        let path = segment_path(&self.dir, self.active_seq);
+        if let Err(e) = self.io.write_at(&path, self.active_len, &frame) {
+            self.rollback(self.active_len);
+            return Err(e);
+        }
         self.active_len += frame.len() as u64;
         Ok(frame.len() as u64)
     }
 
+    /// Durably appends a group of records **all-or-nothing**: every
+    /// frame is written and fsynced, or the segment is rolled back to
+    /// its pre-commit length and the error returned. After an `Err`,
+    /// the log contains no trace of the group (modulo a torn tail that
+    /// [`Self::repair`] / the next commit truncates), so a caller may
+    /// simply retry the whole group — there is no window in which a
+    /// *later* record (e.g. a finalize digest) could become durable
+    /// while an *earlier* one (its batch) is not.
+    pub fn commit(&mut self, records: &[(u8, &[u8])]) -> Result<u64, StoreError> {
+        self.repair()?;
+        if self.active_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        let mut buf = Vec::new();
+        for &(tag, payload) in records {
+            buf.extend_from_slice(&Self::frame(tag, payload));
+        }
+        let pre_len = self.active_len;
+        let path = segment_path(&self.dir, self.active_seq);
+        let result = self
+            .io
+            .write_at(&path, pre_len, &buf)
+            .and_then(|()| self.io.sync(&path));
+        match result {
+            Ok(()) => {
+                self.active_len = pre_len + buf.len() as u64;
+                Ok(buf.len() as u64)
+            }
+            Err(e) => {
+                self.rollback(pre_len);
+                Err(e)
+            }
+        }
+    }
+
+    /// Truncates the active segment back to `pre_len` after a failed
+    /// write, arming `pending_repair` if even the truncation fails.
+    fn rollback(&mut self, pre_len: u64) {
+        let path = segment_path(&self.dir, self.active_seq);
+        match self.io.set_len(&path, pre_len) {
+            Ok(()) => {
+                // Make the truncation itself durable on a best-effort
+                // basis; if this sync fails the tail is already gone
+                // from the file, and crash recovery would cut any
+                // resurrected torn bytes anyway.
+                self.io.sync(&path).ok();
+            }
+            Err(_) => self.pending_repair = Some((self.active_seq, pre_len)),
+        }
+    }
+
     /// Flushes appended records to stable storage.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        self.active.sync_all()?;
-        Ok(())
+        self.io.sync(&segment_path(&self.dir, self.active_seq))
     }
 
     /// Closes the active segment and starts a fresh one; returns the new
-    /// segment's sequence number.
+    /// segment's sequence number. Transactional: on failure the log
+    /// keeps appending to the current segment and no half-created
+    /// segment is left behind.
     pub fn rotate(&mut self) -> Result<u64, StoreError> {
-        self.active.sync_all()?;
-        self.active_seq += 1;
-        let path = segment_path(&self.dir, self.active_seq);
-        self.active = OpenOptions::new().create(true).append(true).open(&path)?;
+        self.repair()?;
+        self.io.sync(&segment_path(&self.dir, self.active_seq))?;
+        let next_seq = self.active_seq + 1;
+        let next_path = segment_path(&self.dir, next_seq);
+        if let Err(e) = self.io.write_at(&next_path, 0, &[]) {
+            // A fault may have created the file before failing; remove
+            // it so no empty segment leaks ahead of the active one.
+            self.io.remove(&next_path).ok();
+            return Err(e);
+        }
+        self.active_seq = next_seq;
         self.active_len = 0;
         Ok(self.active_seq)
     }
 
     /// Deletes every segment with a sequence number strictly below
     /// `seq` (post-snapshot compaction). Returns how many were removed.
+    /// On error some segments may already be gone; retrying is safe
+    /// (replaying extra pre-snapshot segments is harmless — recovery
+    /// filters records by sequence number).
     pub fn compact_below(&mut self, seq: u64) -> Result<usize, StoreError> {
         let mut removed = 0;
-        for (s, path) in list_segments(&self.dir)? {
+        for (s, path) in list_segments(&self.io, &self.dir)? {
             if s < seq && s != self.active_seq {
-                std::fs::remove_file(path)?;
+                self.io.remove(&path)?;
                 removed += 1;
             }
         }
@@ -297,20 +445,25 @@ impl Wal {
     }
 
     /// Reads every record across all segments in order. A torn or
-    /// bit-flipped tail on the **final** segment is tolerated — the
-    /// replay stops at the last checksum-valid record and reports
-    /// `torn_tail = true`; invalid bytes in any earlier segment are a
-    /// hard [`StoreError::Corrupt`].
+    /// bit-flipped tail on the **last segment holding data** is
+    /// tolerated — the replay stops at the last checksum-valid record
+    /// and reports `torn_tail = true`; invalid bytes in any earlier
+    /// segment are a hard [`StoreError::Corrupt`]. Trailing empty
+    /// segments (leaked by a faulted rotation) are ignored.
     pub fn replay(&self) -> Result<Replay, StoreError> {
-        let segments = list_segments(&self.dir)?;
-        let last_seq = segments.keys().next_back().copied();
+        let segments = list_segments(&self.io, &self.dir)?;
+        let mut loaded = Vec::with_capacity(segments.len());
+        for (seq, path) in &segments {
+            loaded.push((*seq, self.io.read_file(path)?));
+        }
+        let last_nonempty =
+            loaded.iter().rev().find(|(_, data)| !data.is_empty()).map(|&(seq, _)| seq);
         let mut records = Vec::new();
         let mut torn_tail = false;
-        for (seq, path) in &segments {
-            let data = std::fs::read(path)?;
-            let scan = scan_segment(&data);
+        for (seq, data) in &loaded {
+            let scan = scan_segment(data);
             if !scan.clean {
-                if Some(*seq) != last_seq {
+                if Some(*seq) != last_nonempty {
                     return Err(StoreError::Corrupt("invalid record before the final segment"));
                 }
                 torn_tail = true;
@@ -336,10 +489,9 @@ fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("snap-{seq:08}.ck"))
 }
 
-fn list_snapshots(dir: &Path) -> Result<BTreeMap<u64, PathBuf>, StoreError> {
+fn list_snapshots(io: &IoHandle, dir: &Path) -> Result<BTreeMap<u64, PathBuf>, StoreError> {
     let mut out = BTreeMap::new();
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
+    for path in io.list_dir(dir)? {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
         if let Some(seq) = name
             .strip_prefix("snap-")
@@ -354,24 +506,33 @@ fn list_snapshots(dir: &Path) -> Result<BTreeMap<u64, PathBuf>, StoreError> {
 
 /// Crash-consistent, checksummed full-state snapshots (see module docs).
 pub struct SnapshotStore {
+    io: IoHandle,
     dir: PathBuf,
 }
 
 impl SnapshotStore {
     /// Opens (or creates) the snapshot directory.
     pub fn open<P: AsRef<Path>>(dir: P) -> Result<Self, StoreError> {
+        Self::open_with_io(dir, IoHandle::real())
+    }
+
+    /// [`Self::open`] over an explicit IO layer.
+    pub fn open_with_io<P: AsRef<Path>>(dir: P, io: IoHandle) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        io.create_dir_all(&dir)?;
+        Ok(Self { io, dir })
     }
 
     /// Sequence numbers of every on-disk snapshot, ascending.
     pub fn list(&self) -> Result<Vec<u64>, StoreError> {
-        Ok(list_snapshots(&self.dir)?.into_keys().collect())
+        Ok(list_snapshots(&self.io, &self.dir)?.into_keys().collect())
     }
 
-    /// Writes a snapshot atomically: tmp file, fsync, rename. A crash at
-    /// any point leaves either no `snap-<seq>` file or a complete one.
+    /// Writes a snapshot atomically: tmp file, fsync, rename. A crash
+    /// (or an injected fault) at any point leaves either no
+    /// `snap-<seq>` file or a complete one — a failed write removes its
+    /// temporary on a best-effort basis and never disturbs previously
+    /// published snapshots.
     pub fn write(&self, seq: u64, payload: &[u8]) -> Result<u64, StoreError> {
         let path = snapshot_path(&self.dir, seq);
         let mut tmp = path.as_os_str().to_os_string();
@@ -384,24 +545,22 @@ impl SnapshotStore {
         bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
         bytes.extend_from_slice(payload);
-        let write = (|| -> std::io::Result<()> {
-            let mut f = File::create(&tmp)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
-            drop(f);
-            std::fs::rename(&tmp, &path)
-        })();
-        if write.is_err() {
-            std::fs::remove_file(&tmp).ok();
+        let write = self
+            .io
+            .write_file(&tmp, &bytes)
+            .and_then(|()| self.io.sync(&tmp))
+            .and_then(|()| self.io.rename(&tmp, &path));
+        if let Err(e) = write {
+            self.io.remove(&tmp).ok();
+            return Err(e);
         }
-        write?;
         Ok(bytes.len() as u64)
     }
 
     /// Parses one snapshot file, verifying magic, version, length and
     /// checksum.
-    fn read(path: &Path, expect_seq: u64) -> Result<Vec<u8>, StoreError> {
-        let data = std::fs::read(path)?;
+    fn read(&self, path: &Path, expect_seq: u64) -> Result<Vec<u8>, StoreError> {
+        let data = self.io.read_file(path)?;
         if data.len() < SNAP_HEADER || &data[0..4] != SNAP_MAGIC {
             return Err(StoreError::Corrupt("bad snapshot magic"));
         }
@@ -425,8 +584,8 @@ impl SnapshotStore {
     /// The newest snapshot that verifies, as `(seq, payload)` — corrupt
     /// or torn snapshot files are skipped in favour of older ones.
     pub fn latest(&self) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
-        for (seq, path) in list_snapshots(&self.dir)?.into_iter().rev() {
-            if let Ok(payload) = Self::read(&path, seq) {
+        for (seq, path) in list_snapshots(&self.io, &self.dir)?.into_iter().rev() {
+            if let Ok(payload) = self.read(&path, seq) {
                 return Ok(Some((seq, payload)));
             }
         }
@@ -435,12 +594,13 @@ impl SnapshotStore {
 
     /// Deletes every snapshot with a sequence number strictly below
     /// `seq`. Callers typically keep the latest two (the newest plus one
-    /// fallback). Returns how many were removed.
+    /// fallback). Returns how many were removed; on error some
+    /// snapshots may already be gone, and retrying is safe.
     pub fn prune_below(&self, seq: u64) -> Result<usize, StoreError> {
         let mut removed = 0;
-        for (s, path) in list_snapshots(&self.dir)? {
+        for (s, path) in list_snapshots(&self.io, &self.dir)? {
             if s < seq {
-                std::fs::remove_file(path)?;
+                self.io.remove(&path)?;
                 removed += 1;
             }
         }
@@ -471,7 +631,8 @@ impl SnapshotStore {
 /// so a cached read can never be stale. Checksum verification is
 /// unchanged — cached bytes still have to match their frame checksum.
 pub struct SpillFile {
-    file: File,
+    io: IoHandle,
+    path: PathBuf,
     len: u64,
     cache: PageCache,
 }
@@ -562,16 +723,17 @@ impl SpillFile {
     /// previous contents — spilled entries never outlive the process
     /// that wrote them.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
-        if let Some(parent) = path.as_ref().parent() {
-            std::fs::create_dir_all(parent)?;
+        Self::open_with_io(path, IoHandle::real())
+    }
+
+    /// [`Self::open`] over an explicit IO layer.
+    pub fn open_with_io<P: AsRef<Path>>(path: P, io: IoHandle) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            io.create_dir_all(parent)?;
         }
-        let file = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .write(true)
-            .truncate(true)
-            .open(path)?;
-        Ok(Self { file, len: 0, cache: PageCache::new(DEFAULT_SPILL_CACHE_BYTES) })
+        io.write_file(&path, &[])?;
+        Ok(Self { io, path, len: 0, cache: PageCache::new(DEFAULT_SPILL_CACHE_BYTES) })
     }
 
     /// Sets the page-cache byte budget. A budget of `0` disables the
@@ -619,6 +781,8 @@ impl SpillFile {
     }
 
     /// Appends one entry, returning the offset to read it back from.
+    /// On error the logical length is unchanged: a retry rewrites the
+    /// same offset, overwriting any torn bytes a failed attempt left.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
         assert!(payload.len() <= MAX_PAYLOAD, "spill payload over MAX_PAYLOAD");
         let offset = self.len;
@@ -626,12 +790,14 @@ impl SpillFile {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
         frame.extend_from_slice(payload);
-        self.file.seek(SeekFrom::Start(offset))?;
-        self.file.write_all(&frame)?;
+        let result = self.io.write_at(&self.path, offset, &frame);
         // Every page strictly below the old EOF is immutable in an
         // append-only file; only the partially filled EOF page (if any)
-        // now holds different bytes than a cached copy would.
+        // now holds different bytes than a cached copy would. Even a
+        // *failed* write may have deposited a torn prefix there, so
+        // invalidate unconditionally.
         self.cache.invalidate_from(offset / SPILL_PAGE as u64);
+        result?;
         self.len += frame.len() as u64;
         Ok(offset)
     }
@@ -659,10 +825,7 @@ impl SpillFile {
     /// degenerates to a single positional read.
     fn read_span(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
         if self.cache.budget == 0 {
-            let mut buf = vec![0u8; len];
-            self.file.seek(SeekFrom::Start(offset))?;
-            self.file.read_exact(&mut buf)?;
-            return Ok(buf);
+            return self.io.read_at(&self.path, offset, len);
         }
         let mut out = Vec::with_capacity(len);
         let mut pos = offset;
@@ -693,18 +856,17 @@ impl SpillFile {
             return Err(StoreError::Corrupt("spill page out of range"));
         }
         let len = (SPILL_PAGE as u64).min(self.len - start) as usize;
-        let mut page = vec![0u8; len];
-        self.file.seek(SeekFrom::Start(start))?;
-        self.file.read_exact(&mut page)?;
-        Ok(page)
+        self.io.read_at(&self.path, start, len)
     }
 
     /// Discards all entries (used when every spilled surface has been
-    /// rehydrated, e.g. before a snapshot or a CTrie-rebuild).
+    /// rehydrated, e.g. before a snapshot or a CTrie-rebuild). Cached
+    /// pages are dropped even when the truncation fails — stale reads
+    /// are never served.
     pub fn reset(&mut self) -> Result<(), StoreError> {
-        self.file.set_len(0)?;
-        self.len = 0;
         self.cache.clear();
+        self.io.set_len(&self.path, 0)?;
+        self.len = 0;
         Ok(())
     }
 }
