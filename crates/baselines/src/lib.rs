@@ -32,6 +32,8 @@
 
 #![allow(clippy::needless_range_loop)] // index loops are idiomatic in the numeric kernels
 
+#![forbid(unsafe_code)]
+
 pub mod aguilar;
 pub mod akbik;
 pub mod bert_ner;

@@ -22,6 +22,8 @@
 //! ingesting anything new and reports the recovered state; `eval`
 //! scores CoNLL predictions against CoNLL gold.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::io::Read;
 use std::process::ExitCode;

@@ -15,6 +15,8 @@
 //! The paper tunes the threshold below 1 (cosine distance 1 =
 //! orthogonality, the triplet-loss margin).
 
+#![forbid(unsafe_code)]
+
 use serde::{Deserialize, Serialize};
 
 use ngl_nn::cosine::l2_normalized;

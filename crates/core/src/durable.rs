@@ -521,10 +521,14 @@ fn read_model_meta(path: &Path) -> Result<Option<u64>, DurableError> {
     if bytes.len() != 16 || &bytes[0..4] != MODEL_META_MAGIC {
         return Err(DurableError::Corrupt("unreadable model fingerprint file"));
     }
-    if u32::from_le_bytes(bytes[4..8].try_into().unwrap()) != MODEL_META_VERSION {
+    let mut word = [0u8; 4];
+    word.copy_from_slice(&bytes[4..8]);
+    if u32::from_le_bytes(word) != MODEL_META_VERSION {
         return Err(DurableError::Corrupt("unsupported model fingerprint version"));
     }
-    Ok(Some(u64::from_le_bytes(bytes[8..16].try_into().unwrap())))
+    let mut fp = [0u8; 8];
+    fp.copy_from_slice(&bytes[8..16]);
+    Ok(Some(u64::from_le_bytes(fp)))
 }
 
 fn write_model_meta(path: &Path, fingerprint: u64) -> Result<(), DurableError> {
@@ -866,8 +870,12 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
         for record in &records {
             match record {
                 WalRecord::Batch { op_seq, tweets, .. } if *op_seq > snap_seq => {
-                    let group = groups.last_mut().expect("one group always open");
-                    group.extend(tweets.iter().cloned());
+                    // `groups` starts non-empty and only grows; if that
+                    // ever breaks, prewarm is best-effort anyway — skip
+                    // the group rather than abort recovery.
+                    if let Some(group) = groups.last_mut() {
+                        group.extend(tweets.iter().cloned());
+                    }
                 }
                 WalRecord::Finalize { op_seq, .. } if *op_seq > snap_seq => {
                     groups.push(Vec::new());
@@ -1107,8 +1115,12 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
     ///   degrades to WAL-only and retries the snapshot next finalize.
     pub fn finalize(&mut self) -> Result<Vec<Vec<Span>>, DurableError> {
         if self.pending_finalize.is_some() {
-            let out = self.commit_pending()?.expect("pending finalize checked above");
-            return Ok(out);
+            return match self.commit_pending()? {
+                Some(out) => Ok(out),
+                // `pending_finalize` was checked just above; disagreement
+                // here is state corruption, surfaced as a typed error.
+                None => Err(DurableError::Corrupt("pending finalize vanished during retry")),
+            };
         }
         let first_retained_before = self.inner.tweet_base().first_retained();
         self.op_seq += 1;

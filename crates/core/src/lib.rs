@@ -28,6 +28,8 @@
 
 #![allow(clippy::needless_range_loop)] // index loops are idiomatic in the numeric kernels
 
+#![forbid(unsafe_code)]
+
 pub mod bases;
 pub mod checkpoint;
 pub mod classifier;

@@ -90,12 +90,7 @@ impl AttentivePooling {
         let g: Vec<f32> = (0..n)
             .map(|j| ngl_nn::linalg::dot(d_global, locals.row(j)))
             .collect();
-        let mean: f32 = cache
-            .weights
-            .iter()
-            .zip(&g)
-            .map(|(&w, &gj)| w * gj)
-            .sum();
+        let mean: f32 = ngl_nn::linalg::dot(&cache.weights, &g);
         for j in 0..n {
             let da = cache.weights[j] * (g[j] - mean);
             ngl_nn::kernels::axpy(&mut self.g_w, da, locals.row(j));

@@ -26,6 +26,8 @@
 //!
 //! Every generator is deterministic given the profile's seed.
 
+#![forbid(unsafe_code)]
+
 pub mod conll;
 pub mod dataset;
 pub mod kb;

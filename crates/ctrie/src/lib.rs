@@ -12,6 +12,8 @@
 //! subsequence matching a registered surface, then skips past it; on a
 //! failed search it restarts one token to the right.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};

@@ -24,6 +24,8 @@
 
 #![allow(clippy::needless_range_loop)] // index loops are idiomatic in the numeric kernels
 
+#![forbid(unsafe_code)]
+
 pub mod features;
 pub mod model;
 pub mod train;

@@ -10,6 +10,8 @@
 //! * [`frequency`] — Figure 4: entity-classifier recall binned by gold
 //!   mention frequency (bin width 5).
 
+#![forbid(unsafe_code)]
+
 pub mod confusion;
 pub mod errors;
 pub mod frequency;

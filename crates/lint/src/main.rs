@@ -1,0 +1,125 @@
+//! `ngl-lint` — workspace invariant-lint gate.
+//!
+//! ```text
+//! cargo run -p ngl-lint                 # lint the workspace, human output
+//! cargo run -p ngl-lint -- --json out.json
+//! cargo run -p ngl-lint -- --root path/to/tree
+//! cargo run -p ngl-lint -- --list-rules
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = violations found, 2 = usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    list_rules: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: None, json: None, list_rules: false, quiet: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory argument")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a file argument (or `-` for stdout)")?;
+                args.json = Some(PathBuf::from(v));
+            }
+            "--list-rules" => args.list_rules = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err(String::new()); // triggers usage, exit 2 handled below
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "ngl-lint: workspace invariant lints\n\n\
+         USAGE: ngl-lint [--root DIR] [--json FILE|-] [--list-rules] [--quiet]\n\n\
+         Exit codes: 0 clean, 1 violations, 2 usage/IO error."
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("ngl-lint: {msg}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for r in ngl_lint::RULES {
+            println!("{:<4}{:<18}{}", r.id, r.name, r.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match ngl_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("ngl-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match ngl_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ngl-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(json_path) = &args.json {
+        let json = report.to_json();
+        if json_path.as_os_str() == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(json_path, json) {
+            eprintln!("ngl-lint: failed to write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !args.quiet {
+        for d in &report.diagnostics {
+            println!("{}:{}: [{} {}] {}", d.file, d.line, d.rule, d.name, d.message);
+        }
+        let waived = report.waivers.iter().filter(|w| w.used).count();
+        println!(
+            "ngl-lint: {} file(s) scanned, {} violation(s), {} active waiver(s)",
+            report.files_scanned,
+            report.diagnostics.len(),
+            waived
+        );
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

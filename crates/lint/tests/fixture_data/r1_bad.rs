@@ -1,0 +1,3 @@
+pub fn peek(v: &[f32]) -> f32 {
+    unsafe { *v.get_unchecked(0) }
+}

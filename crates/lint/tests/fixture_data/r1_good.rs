@@ -1,0 +1,4 @@
+pub fn peek(v: &[f32]) -> f32 {
+    // SAFETY: caller guarantees `v` is non-empty.
+    unsafe { *v.get_unchecked(0) }
+}

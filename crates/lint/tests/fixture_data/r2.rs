@@ -1,0 +1,13 @@
+pub fn read_len(bytes: &[u8]) -> usize {
+    let first = bytes.first().copied().unwrap();
+    first as usize
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_unwrap_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

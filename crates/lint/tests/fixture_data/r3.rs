@@ -1,0 +1,7 @@
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn run(f: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(f);
+}

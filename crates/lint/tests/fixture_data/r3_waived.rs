@@ -1,0 +1,4 @@
+pub fn stamp() -> std::time::Instant {
+    // ngl-lint: allow(R3, fixture exercises the waiver suppression path)
+    std::time::Instant::now()
+}

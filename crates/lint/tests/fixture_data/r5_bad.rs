@@ -1,0 +1,5 @@
+pub fn header(len: usize, offset: usize) -> (u32, usize) {
+    let word = len as u32;
+    let end = offset + len;
+    (word, end)
+}

@@ -1,0 +1,5 @@
+pub fn header(len: usize, offset: usize) -> Option<(u32, usize)> {
+    let word = u32::try_from(len).ok()?;
+    let end = offset.checked_add(len)?;
+    Some((word, end))
+}

@@ -1,0 +1,3 @@
+pub fn nothing() {
+    // ngl-lint: allow(R9, this rule does not exist)
+}

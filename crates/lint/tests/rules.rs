@@ -1,0 +1,272 @@
+//! Fixture-based tests for the `ngl-lint` rule engine, plus the
+//! acceptance mutations from the issue: stripping a SAFETY comment
+//! from the real `kernels.rs`/`pool.rs` must make the lint fail, and
+//! adding an `unwrap()` to `crates/store/src/` must make it fail.
+//!
+//! Fixtures live in `tests/fixture_data/` (a directory `lint_workspace`
+//! deliberately skips) and are linted under *synthetic* relative paths,
+//! because rule scoping is path-driven.
+
+use std::path::Path;
+
+use ngl_lint::{find_workspace_root, lint_source, lint_workspace, Diagnostic, Report, Waiver};
+
+fn rules(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule.as_str()).collect()
+}
+
+// ---- R1: SAFETY comments ----------------------------------------------
+
+#[test]
+fn r1_fires_on_bare_unsafe() {
+    let report = lint_source("crates/nn/src/simd.rs", include_str!("fixture_data/r1_bad.rs"));
+    assert_eq!(rules(&report.diagnostics), ["R1"]);
+    assert_eq!(report.diagnostics[0].line, 2);
+}
+
+#[test]
+fn r1_satisfied_by_safety_comment() {
+    let report = lint_source("crates/nn/src/simd.rs", include_str!("fixture_data/r1_good.rs"));
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn r1_applies_even_in_test_files() {
+    let report = lint_source("crates/nn/tests/simd.rs", include_str!("fixture_data/r1_bad.rs"));
+    assert_eq!(rules(&report.diagnostics), ["R1"]);
+}
+
+// ---- R2: panic-free durable paths -------------------------------------
+
+#[test]
+fn r2_fires_on_store_paths_but_not_in_test_modules() {
+    let src = include_str!("fixture_data/r2.rs");
+    let report = lint_source("crates/store/src/fixture.rs", src);
+    assert_eq!(rules(&report.diagnostics), ["R2"], "{:?}", report.diagnostics);
+    assert_eq!(report.diagnostics[0].line, 2, "only the non-test unwrap");
+}
+
+#[test]
+fn r2_ignores_files_outside_durable_scope() {
+    let src = include_str!("fixture_data/r2.rs");
+    let report = lint_source("crates/text/src/fixture.rs", src);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+// ---- R3: determinism ban ----------------------------------------------
+
+#[test]
+fn r3_fires_on_wall_clock_and_ad_hoc_threads() {
+    let src = include_str!("fixture_data/r3.rs");
+    let report = lint_source("crates/core/src/fixture.rs", src);
+    assert_eq!(rules(&report.diagnostics), ["R3", "R3"], "{:?}", report.diagnostics);
+}
+
+#[test]
+fn r3_exempts_runtime_bench_and_cli() {
+    let src = include_str!("fixture_data/r3.rs");
+    for rel in
+        ["crates/runtime/src/fixture.rs", "crates/bench/src/fixture.rs", "crates/cli/src/main.rs"]
+    {
+        let report = lint_source(rel, src);
+        assert!(report.diagnostics.is_empty(), "{rel}: {:?}", report.diagnostics);
+    }
+}
+
+// ---- R4: kernel-layer enforcement -------------------------------------
+
+#[test]
+fn r4_fires_on_hand_rolled_reductions() {
+    let src = include_str!("fixture_data/r4.rs");
+    let report = lint_source("crates/core/src/fixture.rs", src);
+    let fired = rules(&report.diagnostics);
+    assert!(fired.contains(&"R4"), "{:?}", report.diagnostics);
+    assert!(fired.iter().all(|r| *r == "R4"), "{:?}", report.diagnostics);
+    assert!(report.diagnostics.len() >= 2, "both the chain and the loop: {:?}", report.diagnostics);
+}
+
+#[test]
+fn r4_exempts_the_kernel_layer_itself() {
+    let src = include_str!("fixture_data/r4.rs");
+    let report = lint_source("crates/nn/src/kernels.rs", src);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+// ---- R5: checked framing arithmetic -----------------------------------
+
+#[test]
+fn r5_fires_on_bare_narrowing_and_unchecked_adds() {
+    let src = include_str!("fixture_data/r5_bad.rs");
+    let report = lint_source("crates/nn/src/codec.rs", src);
+    assert_eq!(rules(&report.diagnostics), ["R5", "R5"], "{:?}", report.diagnostics);
+}
+
+#[test]
+fn r5_accepts_try_from_and_checked_add() {
+    let src = include_str!("fixture_data/r5_good.rs");
+    let report = lint_source("crates/nn/src/codec.rs", src);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn r5_only_applies_to_framing_files() {
+    let src = include_str!("fixture_data/r5_bad.rs");
+    let report = lint_source("crates/core/src/fixture.rs", src);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+// ---- waivers -----------------------------------------------------------
+
+#[test]
+fn reasoned_waiver_suppresses_and_is_marked_used() {
+    let report =
+        lint_source("crates/core/src/fixture.rs", include_str!("fixture_data/r3_waived.rs"));
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.waivers.len(), 1);
+    assert!(report.waivers[0].used);
+    assert_eq!(report.waivers[0].rule, "R3");
+    assert!(!report.waivers[0].reason.is_empty());
+}
+
+#[test]
+fn waiver_without_reason_is_rejected_and_does_not_suppress() {
+    let report =
+        lint_source("crates/core/src/fixture.rs", include_str!("fixture_data/waiver_no_reason.rs"));
+    let fired = rules(&report.diagnostics);
+    assert!(fired.contains(&"W1"), "{:?}", report.diagnostics);
+    assert!(fired.contains(&"R3"), "rejected waiver must not suppress: {:?}", report.diagnostics);
+    assert!(report.waivers.is_empty());
+}
+
+#[test]
+fn waiver_naming_unknown_rule_is_rejected() {
+    let report = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixture_data/waiver_unknown_rule.rs"),
+    );
+    assert_eq!(rules(&report.diagnostics), ["W1"]);
+}
+
+#[test]
+fn unused_reasoned_waiver_is_reported_but_not_an_error() {
+    let report =
+        lint_source("crates/core/src/fixture.rs", include_str!("fixture_data/waiver_unused.rs"));
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.waivers.len(), 1);
+    assert!(!report.waivers[0].used);
+}
+
+// ---- JSON schema -------------------------------------------------------
+
+#[test]
+fn json_report_has_the_stable_v1_schema() {
+    let report = Report {
+        files_scanned: 2,
+        diagnostics: vec![Diagnostic {
+            rule: "R1".into(),
+            name: "safety-comment".into(),
+            file: "crates/nn/src/\"odd\".rs".into(),
+            line: 3,
+            message: "line one\nline two".into(),
+        }],
+        waivers: vec![Waiver {
+            rule: "R3".into(),
+            file: "crates/core/src/pipeline.rs".into(),
+            line: 9,
+            reason: "stage timing only".into(),
+            used: true,
+        }],
+    };
+    let json = report.to_json();
+    assert!(json.contains("\"version\": 1"), "{json}");
+    assert!(json.contains("\"files_scanned\": 2"), "{json}");
+    assert!(json.contains("\"clean\": false"), "{json}");
+    assert!(json.contains(r#""rule": "R1""#), "{json}");
+    assert!(json.contains(r#"\"odd\""#), "quotes must be escaped: {json}");
+    assert!(json.contains(r"line one\nline two"), "newlines must be escaped: {json}");
+    assert!(json.contains(r#""used": true"#), "{json}");
+
+    let clean = Report { files_scanned: 0, diagnostics: vec![], waivers: vec![] };
+    let json = clean.to_json();
+    assert!(json.contains("\"clean\": true"), "{json}");
+    assert!(json.contains("\"diagnostics\": []"), "{json}");
+}
+
+// ---- the workspace itself ---------------------------------------------
+
+fn workspace_root() -> std::path::PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace")
+}
+
+#[test]
+fn workspace_is_lint_clean_with_reasoned_waivers_only() {
+    let report = lint_workspace(&workspace_root()).expect("workspace scan");
+    assert!(report.files_scanned > 50, "scan saw {} files", report.files_scanned);
+    assert!(
+        report.clean(),
+        "workspace must lint clean at HEAD:\n{:#?}",
+        report.diagnostics
+    );
+    for w in &report.waivers {
+        assert!(!w.reason.is_empty(), "unreasoned waiver survived: {w:?}");
+    }
+}
+
+// ---- acceptance mutations ---------------------------------------------
+
+fn read_real(rel: &str) -> String {
+    std::fs::read_to_string(workspace_root().join(rel)).expect(rel)
+}
+
+#[test]
+fn stripping_safety_comments_from_kernels_fails_r1() {
+    let rel = "crates/nn/src/kernels.rs";
+    let src = read_real(rel);
+    let baseline = lint_source(rel, &src);
+    assert!(baseline.diagnostics.is_empty(), "{:?}", baseline.diagnostics);
+
+    let mutated = src.replace("SAFETY:", "NOTE:").replace("# Safety", "# Notes");
+    assert_ne!(src, mutated, "kernels.rs must actually carry SAFETY comments");
+    let report = lint_source(rel, &mutated);
+    assert!(
+        report.diagnostics.iter().any(|d| d.rule == "R1"),
+        "deleting SAFETY comments must trip R1: {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn stripping_safety_comments_from_pool_fails_r1() {
+    let rel = "crates/runtime/src/pool.rs";
+    let src = read_real(rel);
+    let baseline = lint_source(rel, &src);
+    assert!(baseline.diagnostics.is_empty(), "{:?}", baseline.diagnostics);
+
+    let mutated = src.replace("SAFETY:", "NOTE:").replace("# Safety", "# Notes");
+    assert_ne!(src, mutated, "pool.rs must actually carry SAFETY comments");
+    let report = lint_source(rel, &mutated);
+    assert!(
+        report.diagnostics.iter().any(|d| d.rule == "R1"),
+        "deleting SAFETY comments must trip R1: {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn adding_an_unwrap_to_the_store_fails_r2() {
+    let rel = "crates/store/src/lib.rs";
+    let src = read_real(rel);
+    let baseline = lint_source(rel, &src);
+    assert!(baseline.diagnostics.is_empty(), "{:?}", baseline.diagnostics);
+
+    let mutated = format!(
+        "{src}\npub fn injected_regression(v: &[u8]) -> u8 {{\n    v.first().copied().unwrap()\n}}\n"
+    );
+    let report = lint_source(rel, &mutated);
+    assert!(
+        report.diagnostics.iter().any(|d| d.rule == "R2"),
+        "a fresh unwrap in the store must trip R2: {:?}",
+        report.diagnostics
+    );
+}

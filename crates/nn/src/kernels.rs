@@ -201,9 +201,11 @@ mod x86 {
     use core::arch::x86_64::*;
 
     /// `(s_0 + s_2) + (s_1 + s_3)` of `s_j = l_j + l_{j+4}`, where `s`
-    /// is already the packed 4-lane sum.
-    #[inline(always)]
-    unsafe fn reduce4(s: __m128) -> f32 {
+    /// is already the packed 4-lane sum. SSE value intrinsics are part
+    /// of the x86_64 baseline, so this is a safe function.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    fn reduce4(s: __m128) -> f32 {
         // t = (s0+s2, s1+s3, ..)
         let t = _mm_add_ps(s, _mm_movehl_ps(s, s));
         // u0 = (s0+s2) + (s1+s3)
@@ -220,61 +222,89 @@ mod x86 {
         }};
     }
 
+    /// 8-lane AVX dot. `#[target_feature]` makes this unsafe to call
+    /// unless the caller guarantees AVX (`avx_available()`). Lengths
+    /// need not match: the reduction runs over the common prefix,
+    /// exactly like the scalar `zip` path.
     #[target_feature(enable = "avx")]
-    pub unsafe fn dot_avx(a: &[f32], b: &[f32]) -> f32 {
-        debug_assert_eq!(a.len(), b.len());
-        let chunks = a.len() / LANES;
+    pub fn dot_avx(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let chunks = n / LANES;
         let mut acc = _mm256_setzero_ps();
         for k in 0..chunks {
-            let x = _mm256_loadu_ps(a.as_ptr().add(k * LANES));
-            let y = _mm256_loadu_ps(b.as_ptr().add(k * LANES));
+            // SAFETY: k < chunks = n / LANES, so [k*LANES, k*LANES + 8)
+            // is in bounds of both slices (n <= a.len(), b.len()).
+            let (x, y) = unsafe {
+                (
+                    _mm256_loadu_ps(a.as_ptr().add(k * LANES)),
+                    _mm256_loadu_ps(b.as_ptr().add(k * LANES)),
+                )
+            };
             acc = _mm256_add_ps(acc, _mm256_mul_ps(x, y));
         }
-        if !a.len().is_multiple_of(LANES) {
-            let x = tail_pad(&a[chunks * LANES..]);
-            let y = tail_pad(&b[chunks * LANES..]);
-            let xv = _mm256_loadu_ps(x.as_ptr());
-            let yv = _mm256_loadu_ps(y.as_ptr());
+        if !n.is_multiple_of(LANES) {
+            let x = tail_pad(&a[chunks * LANES..n]);
+            let y = tail_pad(&b[chunks * LANES..n]);
+            // SAFETY: tail_pad returns an owned [f32; LANES] on the
+            // stack, so one 8-lane load from its start is in bounds.
+            let (xv, yv) = unsafe { (_mm256_loadu_ps(x.as_ptr()), _mm256_loadu_ps(y.as_ptr())) };
             acc = _mm256_add_ps(acc, _mm256_mul_ps(xv, yv));
         }
         avx_reduce!(acc)
     }
 
+    /// 8-lane AVX squared norm; unsafe to call unless the caller
+    /// guarantees AVX (`avx_available()`).
     #[target_feature(enable = "avx")]
-    pub unsafe fn sq_norm_avx(a: &[f32]) -> f32 {
+    pub fn sq_norm_avx(a: &[f32]) -> f32 {
         let chunks = a.len() / LANES;
         let mut acc = _mm256_setzero_ps();
         for k in 0..chunks {
-            let x = _mm256_loadu_ps(a.as_ptr().add(k * LANES));
+            // SAFETY: k < chunks = len / LANES, so the 8-lane load at
+            // k*LANES is in bounds.
+            let x = unsafe { _mm256_loadu_ps(a.as_ptr().add(k * LANES)) };
             acc = _mm256_add_ps(acc, _mm256_mul_ps(x, x));
         }
         if !a.len().is_multiple_of(LANES) {
             let x = tail_pad(&a[chunks * LANES..]);
-            let xv = _mm256_loadu_ps(x.as_ptr());
+            // SAFETY: tail_pad returns an owned [f32; LANES]; the
+            // 8-lane load from its start is in bounds.
+            let xv = unsafe { _mm256_loadu_ps(x.as_ptr()) };
             acc = _mm256_add_ps(acc, _mm256_mul_ps(xv, xv));
         }
         avx_reduce!(acc)
     }
 
+    /// 8-lane AVX fused cosine; unsafe to call unless the caller
+    /// guarantees AVX (`avx_available()`). Lengths need not match: the
+    /// reduction runs over the common prefix, exactly like the scalar
+    /// `zip` path.
     #[target_feature(enable = "avx")]
-    pub unsafe fn cosine_avx(a: &[f32], b: &[f32]) -> f32 {
-        debug_assert_eq!(a.len(), b.len());
-        let chunks = a.len() / LANES;
+    pub fn cosine_avx(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let chunks = n / LANES;
         let mut ad = _mm256_setzero_ps();
         let mut aa = _mm256_setzero_ps();
         let mut ab = _mm256_setzero_ps();
         for k in 0..chunks {
-            let x = _mm256_loadu_ps(a.as_ptr().add(k * LANES));
-            let y = _mm256_loadu_ps(b.as_ptr().add(k * LANES));
+            // SAFETY: k < chunks = n / LANES, so [k*LANES, k*LANES + 8)
+            // is in bounds of both slices (n <= a.len(), b.len()).
+            let (x, y) = unsafe {
+                (
+                    _mm256_loadu_ps(a.as_ptr().add(k * LANES)),
+                    _mm256_loadu_ps(b.as_ptr().add(k * LANES)),
+                )
+            };
             ad = _mm256_add_ps(ad, _mm256_mul_ps(x, y));
             aa = _mm256_add_ps(aa, _mm256_mul_ps(x, x));
             ab = _mm256_add_ps(ab, _mm256_mul_ps(y, y));
         }
-        if !a.len().is_multiple_of(LANES) {
-            let x = tail_pad(&a[chunks * LANES..]);
-            let y = tail_pad(&b[chunks * LANES..]);
-            let xv = _mm256_loadu_ps(x.as_ptr());
-            let yv = _mm256_loadu_ps(y.as_ptr());
+        if !n.is_multiple_of(LANES) {
+            let x = tail_pad(&a[chunks * LANES..n]);
+            let y = tail_pad(&b[chunks * LANES..n]);
+            // SAFETY: tail_pad returns owned [f32; LANES] buffers, so
+            // 8-lane loads from their starts are in bounds.
+            let (xv, yv) = unsafe { (_mm256_loadu_ps(x.as_ptr()), _mm256_loadu_ps(y.as_ptr())) };
             ad = _mm256_add_ps(ad, _mm256_mul_ps(xv, yv));
             aa = _mm256_add_ps(aa, _mm256_mul_ps(xv, xv));
             ab = _mm256_add_ps(ab, _mm256_mul_ps(yv, yv));
@@ -282,59 +312,85 @@ mod x86 {
         cosine_finish(avx_reduce!(ad), avx_reduce!(aa), avx_reduce!(ab))
     }
 
+    /// 8-lane AVX in-place `y += alpha * x`; unsafe to call unless
+    /// the caller guarantees AVX (`avx_available()`). Lengths need not
+    /// match: the update runs over the common prefix, exactly like the
+    /// scalar `zip` path.
     #[target_feature(enable = "avx")]
-    pub unsafe fn axpy_avx(y: &mut [f32], alpha: f32, x: &[f32]) {
-        debug_assert_eq!(y.len(), x.len());
-        let chunks = y.len() / LANES;
+    pub fn axpy_avx(y: &mut [f32], alpha: f32, x: &[f32]) {
+        let n = y.len().min(x.len());
+        let chunks = n / LANES;
         let al = _mm256_set1_ps(alpha);
         for k in 0..chunks {
-            let xv = _mm256_loadu_ps(x.as_ptr().add(k * LANES));
-            let yv = _mm256_loadu_ps(y.as_ptr().add(k * LANES));
-            _mm256_storeu_ps(
-                y.as_mut_ptr().add(k * LANES),
-                _mm256_add_ps(yv, _mm256_mul_ps(al, xv)),
-            );
+            // SAFETY: k < chunks = n / LANES, so the 8-lane load/store
+            // window [k*LANES, k*LANES + 8) is in bounds of both
+            // slices; x and y are distinct borrows, so no aliasing.
+            unsafe {
+                let xv = _mm256_loadu_ps(x.as_ptr().add(k * LANES));
+                let yv = _mm256_loadu_ps(y.as_ptr().add(k * LANES));
+                _mm256_storeu_ps(
+                    y.as_mut_ptr().add(k * LANES),
+                    _mm256_add_ps(yv, _mm256_mul_ps(al, xv)),
+                );
+            }
         }
         // Elementwise op: a scalar tail is bitwise identical.
-        for i in chunks * LANES..y.len() {
+        for i in chunks * LANES..n {
             y[i] += alpha * x[i];
         }
     }
 
     /// SSE2 versions: two 128-bit accumulators standing in for the
-    /// low/high halves of the 8-lane register.
-    pub unsafe fn dot_sse2(a: &[f32], b: &[f32]) -> f32 {
-        debug_assert_eq!(a.len(), b.len());
-        let chunks = a.len() / LANES;
+    /// low/high halves of the 8-lane register. `#[target_feature]`
+    /// makes these unsafe to call, but the caller's obligation — SSE2
+    /// support — is part of the x86_64 baseline, so every x86_64 call
+    /// site discharges it trivially.
+    #[target_feature(enable = "sse2")]
+    pub fn dot_sse2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let chunks = n / LANES;
         let mut lo = _mm_setzero_ps();
         let mut hi = _mm_setzero_ps();
         for k in 0..chunks {
-            let x0 = _mm_loadu_ps(a.as_ptr().add(k * LANES));
-            let y0 = _mm_loadu_ps(b.as_ptr().add(k * LANES));
-            let x1 = _mm_loadu_ps(a.as_ptr().add(k * LANES + 4));
-            let y1 = _mm_loadu_ps(b.as_ptr().add(k * LANES + 4));
+            // SAFETY: k < chunks = n / LANES, so offsets up to
+            // k*LANES + 8 are in bounds of both slices.
+            let (x0, y0, x1, y1) = unsafe {
+                (
+                    _mm_loadu_ps(a.as_ptr().add(k * LANES)),
+                    _mm_loadu_ps(b.as_ptr().add(k * LANES)),
+                    _mm_loadu_ps(a.as_ptr().add(k * LANES + 4)),
+                    _mm_loadu_ps(b.as_ptr().add(k * LANES + 4)),
+                )
+            };
             lo = _mm_add_ps(lo, _mm_mul_ps(x0, y0));
             hi = _mm_add_ps(hi, _mm_mul_ps(x1, y1));
         }
-        if !a.len().is_multiple_of(LANES) {
-            let x = tail_pad(&a[chunks * LANES..]);
-            let y = tail_pad(&b[chunks * LANES..]);
-            lo = _mm_add_ps(lo, _mm_mul_ps(_mm_loadu_ps(x.as_ptr()), _mm_loadu_ps(y.as_ptr())));
-            hi = _mm_add_ps(
-                hi,
-                _mm_mul_ps(_mm_loadu_ps(x.as_ptr().add(4)), _mm_loadu_ps(y.as_ptr().add(4))),
-            );
+        if !n.is_multiple_of(LANES) {
+            let x = tail_pad(&a[chunks * LANES..n]);
+            let y = tail_pad(&b[chunks * LANES..n]);
+            // SAFETY: tail_pad returns owned [f32; LANES] (= 8) stack
+            // buffers, so 4-lane loads at offsets 0 and 4 are in
+            // bounds.
+            unsafe {
+                lo = _mm_add_ps(lo, _mm_mul_ps(_mm_loadu_ps(x.as_ptr()), _mm_loadu_ps(y.as_ptr())));
+                hi = _mm_add_ps(
+                    hi,
+                    _mm_mul_ps(_mm_loadu_ps(x.as_ptr().add(4)), _mm_loadu_ps(y.as_ptr().add(4))),
+                );
+            }
         }
         reduce4(_mm_add_ps(lo, hi))
     }
 
-    pub unsafe fn sq_norm_sse2(a: &[f32]) -> f32 {
+    #[target_feature(enable = "sse2")]
+    pub fn sq_norm_sse2(a: &[f32]) -> f32 {
         dot_sse2(a, a)
     }
 
-    pub unsafe fn cosine_sse2(a: &[f32], b: &[f32]) -> f32 {
-        debug_assert_eq!(a.len(), b.len());
-        let chunks = a.len() / LANES;
+    #[target_feature(enable = "sse2")]
+    pub fn cosine_sse2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let chunks = n / LANES;
         let mut d_lo = _mm_setzero_ps();
         let mut d_hi = _mm_setzero_ps();
         let mut a_lo = _mm_setzero_ps();
@@ -350,22 +406,33 @@ mod x86 {
             b_hi = _mm_add_ps(b_hi, _mm_mul_ps(y1, y1));
         };
         for k in 0..chunks {
-            step(
-                _mm_loadu_ps(a.as_ptr().add(k * LANES)),
-                _mm_loadu_ps(b.as_ptr().add(k * LANES)),
-                _mm_loadu_ps(a.as_ptr().add(k * LANES + 4)),
-                _mm_loadu_ps(b.as_ptr().add(k * LANES + 4)),
-            );
+            // SAFETY: k < chunks = n / LANES, so offsets up to
+            // k*LANES + 8 are in bounds of both slices.
+            let (x0, y0, x1, y1) = unsafe {
+                (
+                    _mm_loadu_ps(a.as_ptr().add(k * LANES)),
+                    _mm_loadu_ps(b.as_ptr().add(k * LANES)),
+                    _mm_loadu_ps(a.as_ptr().add(k * LANES + 4)),
+                    _mm_loadu_ps(b.as_ptr().add(k * LANES + 4)),
+                )
+            };
+            step(x0, y0, x1, y1);
         }
-        if !a.len().is_multiple_of(LANES) {
-            let x = tail_pad(&a[chunks * LANES..]);
-            let y = tail_pad(&b[chunks * LANES..]);
-            step(
-                _mm_loadu_ps(x.as_ptr()),
-                _mm_loadu_ps(y.as_ptr()),
-                _mm_loadu_ps(x.as_ptr().add(4)),
-                _mm_loadu_ps(y.as_ptr().add(4)),
-            );
+        if !n.is_multiple_of(LANES) {
+            let x = tail_pad(&a[chunks * LANES..n]);
+            let y = tail_pad(&b[chunks * LANES..n]);
+            // SAFETY: tail_pad returns owned [f32; LANES] (= 8) stack
+            // buffers, so 4-lane loads at offsets 0 and 4 are in
+            // bounds.
+            let (x0, y0, x1, y1) = unsafe {
+                (
+                    _mm_loadu_ps(x.as_ptr()),
+                    _mm_loadu_ps(y.as_ptr()),
+                    _mm_loadu_ps(x.as_ptr().add(4)),
+                    _mm_loadu_ps(y.as_ptr().add(4)),
+                )
+            };
+            step(x0, y0, x1, y1);
         }
         cosine_finish(
             reduce4(_mm_add_ps(d_lo, d_hi)),
@@ -374,16 +441,22 @@ mod x86 {
         )
     }
 
-    pub unsafe fn axpy_sse2(y: &mut [f32], alpha: f32, x: &[f32]) {
-        debug_assert_eq!(y.len(), x.len());
-        let chunks = y.len() / 4;
+    #[target_feature(enable = "sse2")]
+    pub fn axpy_sse2(y: &mut [f32], alpha: f32, x: &[f32]) {
+        let n = y.len().min(x.len());
+        let chunks = n / 4;
         let al = _mm_set1_ps(alpha);
         for k in 0..chunks {
-            let xv = _mm_loadu_ps(x.as_ptr().add(k * 4));
-            let yv = _mm_loadu_ps(y.as_ptr().add(k * 4));
-            _mm_storeu_ps(y.as_mut_ptr().add(k * 4), _mm_add_ps(yv, _mm_mul_ps(al, xv)));
+            // SAFETY: k < chunks = n / 4, so the 4-lane load/store
+            // window [k*4, k*4 + 4) is in bounds of both slices; x and
+            // y are distinct borrows, so no aliasing.
+            unsafe {
+                let xv = _mm_loadu_ps(x.as_ptr().add(k * 4));
+                let yv = _mm_loadu_ps(y.as_ptr().add(k * 4));
+                _mm_storeu_ps(y.as_mut_ptr().add(k * 4), _mm_add_ps(yv, _mm_mul_ps(al, xv)));
+            }
         }
-        for i in chunks * 4..y.len() {
+        for i in chunks * 4..n {
             y[i] += alpha * x[i];
         }
     }
@@ -406,8 +479,10 @@ pub fn dot_fn() -> VecKernel {
             #[cfg(target_arch = "x86_64")]
             {
                 if avx_available() {
+                    // SAFETY: AVX presence was just checked.
                     |a, b| unsafe { x86::dot_avx(a, b) }
                 } else {
+                    // SAFETY: SSE2 is part of the x86_64 baseline.
                     |a, b| unsafe { x86::dot_sse2(a, b) }
                 }
             }
@@ -425,8 +500,10 @@ pub fn cosine_fn() -> VecKernel {
             #[cfg(target_arch = "x86_64")]
             {
                 if avx_available() {
+                    // SAFETY: AVX presence was just checked.
                     |a, b| unsafe { x86::cosine_avx(a, b) }
                 } else {
+                    // SAFETY: SSE2 is part of the x86_64 baseline.
                     |a, b| unsafe { x86::cosine_sse2(a, b) }
                 }
             }
@@ -445,8 +522,10 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
             #[cfg(target_arch = "x86_64")]
             {
                 if avx_available() {
+                    // SAFETY: AVX presence was just checked.
                     unsafe { x86::dot_avx(a, b) }
                 } else {
+                    // SAFETY: SSE2 is part of the x86_64 baseline.
                     unsafe { x86::dot_sse2(a, b) }
                 }
             }
@@ -465,8 +544,10 @@ pub fn sq_norm(a: &[f32]) -> f32 {
             #[cfg(target_arch = "x86_64")]
             {
                 if avx_available() {
+                    // SAFETY: AVX presence was just checked.
                     unsafe { x86::sq_norm_avx(a) }
                 } else {
+                    // SAFETY: SSE2 is part of the x86_64 baseline.
                     unsafe { x86::sq_norm_sse2(a) }
                 }
             }
@@ -486,8 +567,10 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
             #[cfg(target_arch = "x86_64")]
             {
                 if avx_available() {
+                    // SAFETY: AVX presence was just checked.
                     unsafe { x86::cosine_avx(a, b) }
                 } else {
+                    // SAFETY: SSE2 is part of the x86_64 baseline.
                     unsafe { x86::cosine_sse2(a, b) }
                 }
             }
@@ -507,8 +590,10 @@ pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
             #[cfg(target_arch = "x86_64")]
             {
                 if avx_available() {
+                    // SAFETY: AVX presence was just checked.
                     unsafe { x86::axpy_avx(y, alpha, x) }
                 } else {
+                    // SAFETY: SSE2 is part of the x86_64 baseline.
                     unsafe { x86::axpy_sse2(y, alpha, x) }
                 }
             }
@@ -669,13 +754,19 @@ mod tests {
     #[cfg(target_arch = "x86_64")]
     fn simd_kernels() -> Vec<(&'static str, VecKernel)> {
         let mut v: Vec<(&'static str, VecKernel)> = vec![
+            // SAFETY: SSE2 is part of the x86_64 baseline.
             ("dot", |a, b| unsafe { x86::dot_sse2(a, b) }),
+            // SAFETY: SSE2 is part of the x86_64 baseline.
             ("sq_norm", |a, _| unsafe { x86::sq_norm_sse2(a) }),
+            // SAFETY: SSE2 is part of the x86_64 baseline.
             ("cosine", |a, b| unsafe { x86::cosine_sse2(a, b) }),
         ];
         if avx_available() {
+            // SAFETY: AVX presence was just checked.
             v.push(("dot", |a, b| unsafe { x86::dot_avx(a, b) }));
+            // SAFETY: AVX presence was just checked.
             v.push(("sq_norm", |a, _| unsafe { x86::sq_norm_avx(a) }));
+            // SAFETY: AVX presence was just checked.
             v.push(("cosine", |a, b| unsafe { x86::cosine_avx(a, b) }));
         }
         v
@@ -703,6 +794,7 @@ mod tests {
             let mut ys = gen(5 * n as u64 + 3, n);
             let mut yv = ys.clone();
             axpy_scalar(&mut ys, 0.37, &a);
+            // SAFETY: SSE2 is part of the x86_64 baseline.
             unsafe { x86::axpy_sse2(&mut yv, 0.37, &a) };
             assert_eq!(
                 ys.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
@@ -711,6 +803,7 @@ mod tests {
             );
             if avx_available() {
                 let mut ya = gen(5 * n as u64 + 3, n);
+                // SAFETY: AVX presence was just checked.
                 unsafe { x86::axpy_avx(&mut ya, 0.37, &a) };
                 assert_eq!(
                     ys.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),

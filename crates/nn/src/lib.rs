@@ -28,6 +28,7 @@
 //! an explicit RNG, and no global state is used.
 
 #![allow(clippy::needless_range_loop)] // index loops are idiomatic in the numeric kernels
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod codec;
 pub mod cosine;

@@ -214,11 +214,10 @@ pub fn soft_nn(embeddings: &Matrix, labels: &[usize], temperature: f32) -> SoftN
             let g = dl_dd[i * b + j] * scale;
             cosine_similarity_grad_a_into(embeddings.row(i), embeddings.row(j), &mut dcos_di);
             cosine_similarity_grad_a_into(embeddings.row(j), embeddings.row(i), &mut dcos_dj);
-            for (c, (gi, gj)) in dcos_di.iter().zip(&dcos_dj).enumerate() {
-                // ∂d/∂x = −∂cos/∂x.
-                grads.row_mut(i)[c] += g * (-gi);
-                grads.row_mut(j)[c] += g * (-gj);
-            }
+            // ∂d/∂x = −∂cos/∂x; axpy with α = −g is bitwise identical
+            // to the elementwise `+= g * (-gi)` form.
+            crate::kernels::axpy(grads.row_mut(i), -g, &dcos_di);
+            crate::kernels::axpy(grads.row_mut(j), -g, &dcos_dj);
         }
     }
 

@@ -40,6 +40,8 @@
 //! The [`faults`] module provides a deterministic, seedable fault plan
 //! for stress-testing pipelines built on this executor.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod faults;
 pub mod pool;
 

@@ -83,6 +83,15 @@ struct CallSync {
     cv: Condvar,
 }
 
+/// Locks ignoring poison, like the `Drop` path always has. Job bodies
+/// never unwind out of a ticket (`Ticket::run` catches), so poison can
+/// only arise from a panic in pool bookkeeping itself; the protected
+/// data (counters, deques, the shutdown flag) is consistent at every
+/// lock boundary, and continuing beats deadlocking every caller.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl CallSync {
     fn new(issued: usize) -> Self {
         Self { issued, done: Mutex::new(0), cv: Condvar::new() }
@@ -91,7 +100,7 @@ impl CallSync {
     /// Marks `k` tickets of this call finished, waking the caller when
     /// the last one lands.
     fn finish(&self, k: usize) {
-        let mut d = self.done.lock().expect("call sync poisoned");
+        let mut d = lock_ignore_poison(&self.done);
         *d += k;
         if *d >= self.issued {
             self.cv.notify_all();
@@ -100,9 +109,9 @@ impl CallSync {
 
     /// Blocks until every issued ticket has finished or been cancelled.
     fn wait(&self) {
-        let mut d = self.done.lock().expect("call sync poisoned");
+        let mut d = lock_ignore_poison(&self.done);
         while *d < self.issued {
-            d = self.cv.wait(d).expect("call sync poisoned");
+            d = self.cv.wait(d).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -147,7 +156,7 @@ struct Shared {
 
 impl Shared {
     fn local(&self, i: usize) -> MutexGuard<'_, VecDeque<Ticket>> {
-        self.locals[i].lock().expect("worker deque poisoned")
+        lock_ignore_poison(&self.locals[i])
     }
 
     /// True when any worker deque holds a ticket. Called with the state
@@ -155,7 +164,7 @@ impl Shared {
     /// deque *depositor* holds — so a parking worker either sees the
     /// deposit or is already in `wait` when the depositor notifies.
     fn any_local_pending(&self) -> bool {
-        self.locals.iter().any(|q| !q.lock().expect("worker deque poisoned").is_empty())
+        self.locals.iter().any(|q| !lock_ignore_poison(q).is_empty())
     }
 }
 
@@ -225,7 +234,7 @@ impl Pool {
         // closure inside the current stack frame — see the module docs.
         let body = Arc::new(JobBody { f: unsafe { erase_job(boxed) } });
         {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = lock_ignore_poison(&self.shared.state);
             for _ in 0..invite {
                 st.injector
                     .push_back(Ticket { body: Arc::clone(&body), sync: Arc::clone(&sync) });
@@ -242,7 +251,7 @@ impl Pool {
         // Invitations nobody honored must not outlive this frame.
         let mut cancelled = 0usize;
         {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = lock_ignore_poison(&self.shared.state);
             let before = st.injector.len();
             st.injector.retain(|t| !Arc::ptr_eq(&t.body, &body));
             cancelled += before - st.injector.len();
@@ -294,9 +303,17 @@ impl std::fmt::Debug for Pool {
     }
 }
 
-/// See [`Pool::run`] for the safety argument.
+/// # Safety
+///
+/// The returned `'static` closure is a lie: the borrow is only erased,
+/// not extended. The caller must keep the original closure alive — and
+/// drop every clone of the erased one — before its own frame returns.
+/// [`Pool::run`]'s cancel + wait protocol is the proof obligation.
 unsafe fn erase_job(f: Box<dyn Fn() + Send + Sync + '_>) -> Job {
-    std::mem::transmute(f)
+    // SAFETY: only the borrow lifetime differs between the source and
+    // target types; wide-pointer layout is identical. Liveness is the
+    // caller's contract (see above).
+    unsafe { std::mem::transmute(f) }
 }
 
 fn worker_loop(shared: Arc<Shared>, me: usize) {
@@ -306,7 +323,7 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
             t.run();
             continue;
         }
-        let st = shared.state.lock().expect("pool state poisoned");
+        let st = lock_ignore_poison(&shared.state);
         if st.shutdown {
             return;
         }
@@ -315,7 +332,7 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
             // deposit (submit or injector-grab) happens under the same
             // lock and notifies, so a wakeup cannot be lost.
             shared.parks.fetch_add(1, Ordering::Relaxed);
-            drop(shared.cv.wait(st).expect("pool state poisoned"));
+            drop(shared.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner));
         }
     }
 }
@@ -325,15 +342,25 @@ fn find_work(shared: &Shared, me: usize) -> Option<Ticket> {
         return Some(t);
     }
     {
-        let mut st = shared.state.lock().expect("pool state poisoned");
+        let mut st = lock_ignore_poison(&shared.state);
         if let Some(t) = st.injector.pop_front() {
             // Move a small batch of follow-ups into our deque so parked
             // siblings have something to steal, and wake them for it.
             let grab = st.injector.len().min(INJECTOR_GRAB);
             if grab > 0 {
                 let mut mine = shared.local(me);
-                for _ in 0..grab {
-                    mine.push_back(st.injector.pop_front().expect("grab bounded by len"));
+                // `grab` is bounded by the injector length above, but
+                // degrade to a short batch rather than panic if that
+                // bookkeeping ever drifts.
+                let mut moved = 0usize;
+                while moved < grab {
+                    match st.injector.pop_front() {
+                        Some(t) => {
+                            mine.push_back(t);
+                            moved += 1;
+                        }
+                        None => break,
+                    }
                 }
                 drop(mine);
                 shared.cv.notify_all();

@@ -139,11 +139,15 @@ impl RealIo {
     }
 
     fn handle(&mut self, path: &Path, create: bool) -> std::io::Result<&mut File> {
-        if !self.files.contains_key(path) {
-            let file = OpenOptions::new().read(true).write(true).create(create).open(path)?;
-            self.files.insert(path.to_path_buf(), file);
+        use std::collections::hash_map::Entry;
+        match self.files.entry(path.to_path_buf()) {
+            Entry::Occupied(slot) => Ok(slot.into_mut()),
+            Entry::Vacant(slot) => {
+                let file =
+                    OpenOptions::new().read(true).write(true).create(create).open(path)?;
+                Ok(slot.insert(file))
+            }
         }
-        Ok(self.files.get_mut(path).expect("handle just cached"))
     }
 }
 

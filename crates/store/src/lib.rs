@@ -53,6 +53,8 @@
 //! above (see `ngl-core::durable`) translate into graceful
 //! degradation instead of a panic.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -144,6 +146,21 @@ struct SegmentScan {
     clean: bool,
 }
 
+/// Little-endian `u32` at `pos`. Caller has bounds-checked `pos + 4`;
+/// the fixed-size copy cannot fail, so no `unwrap` is involved.
+fn u32_le_at(data: &[u8], pos: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&data[pos..pos + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// Little-endian `u64` at `pos`. Caller has bounds-checked `pos + 8`.
+fn u64_le_at(data: &[u8], pos: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[pos..pos + 8]);
+    u64::from_le_bytes(b)
+}
+
 /// Decodes records from `data` until the first incomplete or
 /// checksum-invalid frame.
 fn scan_segment(data: &[u8]) -> SegmentScan {
@@ -153,18 +170,22 @@ fn scan_segment(data: &[u8]) -> SegmentScan {
         if data.len() - pos < FRAME_HEADER {
             return SegmentScan { records, valid_len: pos, clean: pos == data.len() };
         }
-        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        let len = u32_le_at(data, pos) as usize;
         let tag = data[pos + 4];
-        let checksum = u64::from_le_bytes(data[pos + 5..pos + 13].try_into().unwrap());
+        let checksum = u64_le_at(data, pos + 5);
         if len > MAX_PAYLOAD || data.len() - pos - FRAME_HEADER < len {
             return SegmentScan { records, valid_len: pos, clean: false };
         }
-        let payload = &data[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
+        let body = pos + FRAME_HEADER;
+        let Some(end) = body.checked_add(len) else {
+            return SegmentScan { records, valid_len: pos, clean: false };
+        };
+        let payload = &data[body..end];
         if fnv1a64_parts(&[&[tag], payload]) != checksum {
             return SegmentScan { records, valid_len: pos, clean: false };
         }
         records.push(Record { tag, payload: payload.to_vec() });
-        pos += FRAME_HEADER + len;
+        pos = end;
     }
 }
 
@@ -296,9 +317,9 @@ impl Wal {
 
     /// Total bytes across all on-disk segments.
     pub fn total_bytes(&self) -> Result<u64, StoreError> {
-        let mut total = 0;
+        let mut total = 0u64;
         for path in list_segments(&self.io, &self.dir)?.values() {
-            total += self.io.file_len(path)?;
+            total = total.saturating_add(self.io.file_len(path)?);
         }
         Ok(total)
     }
@@ -321,15 +342,21 @@ impl Wal {
         self.pending_repair.is_some()
     }
 
-    /// Encodes one record frame.
-    fn frame(tag: u8, payload: &[u8]) -> Vec<u8> {
-        assert!(payload.len() <= MAX_PAYLOAD, "record payload over MAX_PAYLOAD");
-        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    /// Encodes one record frame. Oversized payloads are a typed error,
+    /// not a panic — an ingestion caller sheds the one record and keeps
+    /// going (PR 7 degradation ladder).
+    fn frame(tag: u8, payload: &[u8]) -> Result<Vec<u8>, StoreError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(StoreError::Corrupt("record payload over MAX_PAYLOAD"));
+        }
+        let len = u32::try_from(payload.len())
+            .map_err(|_| StoreError::Corrupt("record payload over MAX_PAYLOAD"))?;
+        let mut frame = Vec::with_capacity(FRAME_HEADER.saturating_add(payload.len()));
+        frame.extend_from_slice(&len.to_le_bytes());
         frame.push(tag);
         frame.extend_from_slice(&fnv1a64_parts(&[&[tag], payload]).to_le_bytes());
         frame.extend_from_slice(payload);
-        frame
+        Ok(frame)
     }
 
     /// Appends one record, rolling to a new segment first if the active
@@ -342,13 +369,13 @@ impl Wal {
         if self.active_len >= self.segment_bytes {
             self.rotate()?;
         }
-        let frame = Self::frame(tag, payload);
+        let frame = Self::frame(tag, payload)?;
         let path = segment_path(&self.dir, self.active_seq);
         if let Err(e) = self.io.write_at(&path, self.active_len, &frame) {
             self.rollback(self.active_len);
             return Err(e);
         }
-        self.active_len += frame.len() as u64;
+        self.active_len = self.active_len.saturating_add(frame.len() as u64);
         Ok(frame.len() as u64)
     }
 
@@ -367,7 +394,7 @@ impl Wal {
         }
         let mut buf = Vec::new();
         for &(tag, payload) in records {
-            buf.extend_from_slice(&Self::frame(tag, payload));
+            buf.extend_from_slice(&Self::frame(tag, payload)?);
         }
         let pre_len = self.active_len;
         let path = segment_path(&self.dir, self.active_seq);
@@ -377,7 +404,7 @@ impl Wal {
             .and_then(|()| self.io.sync(&path));
         match result {
             Ok(()) => {
-                self.active_len = pre_len + buf.len() as u64;
+                self.active_len = pre_len.saturating_add(buf.len() as u64);
                 Ok(buf.len() as u64)
             }
             Err(e) => {
@@ -538,7 +565,7 @@ impl SnapshotStore {
         let mut tmp = path.as_os_str().to_os_string();
         tmp.push(".tmp");
         let tmp = PathBuf::from(tmp);
-        let mut bytes = Vec::with_capacity(SNAP_HEADER + payload.len());
+        let mut bytes = Vec::with_capacity(SNAP_HEADER.saturating_add(payload.len()));
         bytes.extend_from_slice(SNAP_MAGIC);
         bytes.extend_from_slice(&SNAP_VERSION.to_le_bytes());
         bytes.extend_from_slice(&seq.to_le_bytes());
@@ -564,14 +591,14 @@ impl SnapshotStore {
         if data.len() < SNAP_HEADER || &data[0..4] != SNAP_MAGIC {
             return Err(StoreError::Corrupt("bad snapshot magic"));
         }
-        if u32::from_le_bytes(data[4..8].try_into().unwrap()) != SNAP_VERSION {
+        if u32_le_at(&data, 4) != SNAP_VERSION {
             return Err(StoreError::Corrupt("unsupported snapshot version"));
         }
-        if u64::from_le_bytes(data[8..16].try_into().unwrap()) != expect_seq {
+        if u64_le_at(&data, 8) != expect_seq {
             return Err(StoreError::Corrupt("snapshot seq mismatch"));
         }
-        let len = u64::from_le_bytes(data[16..24].try_into().unwrap()) as usize;
-        let checksum = u64::from_le_bytes(data[24..32].try_into().unwrap());
+        let len = u64_le_at(&data, 16) as usize;
+        let checksum = u64_le_at(&data, 24);
         if data.len() - SNAP_HEADER != len {
             return Err(StoreError::Corrupt("snapshot length mismatch"));
         }
@@ -683,15 +710,20 @@ impl PageCache {
     fn insert(&mut self, ix: u64, page: Vec<u8>) {
         self.misses += 1;
         self.clock += 1;
-        self.bytes += page.len();
+        self.bytes = self.bytes.saturating_add(page.len());
         self.pages.insert(ix, (page, self.clock));
         while self.bytes > self.budget && self.pages.len() > 1 {
-            let oldest = self
+            // An empty scan is impossible while `len() > 1`, but a
+            // bookkeeping bug here must degrade to an over-budget cache
+            // rather than abort ingestion.
+            let Some(oldest) = self
                 .pages
                 .iter()
                 .min_by_key(|(_, (_, stamp))| *stamp)
                 .map(|(&k, _)| k)
-                .expect("non-empty cache");
+            else {
+                break;
+            };
             if oldest == ix {
                 break;
             }
@@ -746,13 +778,17 @@ impl SpillFile {
             self.cache.clear();
         } else {
             while self.cache.bytes > bytes && self.cache.pages.len() > 1 {
-                let oldest = self
+                // As in `PageCache::insert`: degrade to an over-budget
+                // cache rather than panic if the scan comes up empty.
+                let Some(oldest) = self
                     .cache
                     .pages
                     .iter()
                     .min_by_key(|(_, (_, stamp))| *stamp)
                     .map(|(&k, _)| k)
-                    .expect("non-empty cache");
+                else {
+                    break;
+                };
                 if let Some((page, _)) = self.cache.pages.remove(&oldest) {
                     self.cache.bytes -= page.len();
                 }
@@ -784,10 +820,13 @@ impl SpillFile {
     /// On error the logical length is unchanged: a retry rewrites the
     /// same offset, overwriting any torn bytes a failed attempt left.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
-        assert!(payload.len() <= MAX_PAYLOAD, "spill payload over MAX_PAYLOAD");
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|_| payload.len() <= MAX_PAYLOAD)
+            .ok_or(StoreError::Corrupt("spill payload over MAX_PAYLOAD"))?;
         let offset = self.len;
-        let mut frame = Vec::with_capacity(SPILL_HEADER + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let mut frame = Vec::with_capacity(SPILL_HEADER.saturating_add(payload.len()));
+        frame.extend_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
         frame.extend_from_slice(payload);
         let result = self.io.write_at(&self.path, offset, &frame);
@@ -798,22 +837,23 @@ impl SpillFile {
         // invalidate unconditionally.
         self.cache.invalidate_from(offset / SPILL_PAGE as u64);
         result?;
-        self.len += frame.len() as u64;
+        self.len = self.len.saturating_add(frame.len() as u64);
         Ok(offset)
     }
 
     /// Reads back the entry appended at `offset`, verifying its frame.
     pub fn read(&mut self, offset: u64) -> Result<Vec<u8>, StoreError> {
-        if offset + SPILL_HEADER as u64 > self.len {
+        let head_end = offset.saturating_add(SPILL_HEADER as u64);
+        if head_end > self.len {
             return Err(StoreError::Corrupt("spill offset out of range"));
         }
         let header = self.read_span(offset, SPILL_HEADER)?;
-        let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
-        let checksum = u64::from_le_bytes(header[4..12].try_into().unwrap());
-        if len > MAX_PAYLOAD || offset + (SPILL_HEADER + len) as u64 > self.len {
+        let len = u32_le_at(&header, 0) as usize;
+        let checksum = u64_le_at(&header, 4);
+        if len > MAX_PAYLOAD || head_end.saturating_add(len as u64) > self.len {
             return Err(StoreError::Corrupt("spill entry length out of range"));
         }
-        let payload = self.read_span(offset + SPILL_HEADER as u64, len)?;
+        let payload = self.read_span(head_end, len)?;
         if fnv1a64(&payload) != checksum {
             return Err(StoreError::Corrupt("spill entry checksum mismatch"));
         }
@@ -829,7 +869,9 @@ impl SpillFile {
         }
         let mut out = Vec::with_capacity(len);
         let mut pos = offset;
-        let end = offset + len as u64;
+        let Some(end) = offset.checked_add(len as u64) else {
+            return Err(StoreError::Corrupt("spill span overflows the offset space"));
+        };
         while pos < end {
             let page_ix = pos / SPILL_PAGE as u64;
             let within = (pos % SPILL_PAGE as u64) as usize;
@@ -838,7 +880,12 @@ impl SpillFile {
                 let page = self.load_page(page_ix)?;
                 self.cache.insert(page_ix, page);
             }
-            let (page, _) = self.cache.pages.get(&page_ix).expect("page just cached");
+            let Some((page, _)) = self.cache.pages.get(&page_ix) else {
+                // The insert above makes this unreachable; if cache
+                // bookkeeping ever breaks, surface a typed error
+                // instead of aborting ingestion.
+                return Err(StoreError::Corrupt("spill page missing from cache"));
+            };
             if within + take > page.len() {
                 return Err(StoreError::Corrupt("spill read past end of file"));
             }

@@ -15,6 +15,8 @@
 //! * [`shape`] — orthographic word-shape features consumed by the
 //!   feature-based baselines.
 
+#![forbid(unsafe_code)]
+
 pub mod bio;
 pub mod shape;
 pub mod span;

@@ -24,6 +24,8 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+#![forbid(unsafe_code)]
+
 pub use ngl_baselines as baselines;
 pub use ngl_cluster as cluster;
 pub use ngl_core as core;
