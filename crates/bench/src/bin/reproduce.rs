@@ -4,7 +4,8 @@
 //! reproduce [--quick] [--seed N] [--timings-json PATH]
 //!           [--store-dir PATH] [--checkpoint-every N] [section ...]
 //! sections: table1 table2 table3 table4 table5 fig3 fig4
-//!           casestudy errors emd ablations store parallel kernels;
+//!           casestudy errors emd ablations store parallel kernels
+//!           serve;
 //!           "all" (default) runs the paper artifacts (ablations must
 //!           be requested explicitly)
 //! ```
@@ -41,6 +42,15 @@
 //! as `BENCH_kernels.json`). The run *asserts* the quantized payload
 //! stays ≤ 0.30 of f32, and (on multicore hosts only, where timings
 //! are trustworthy) that the block scan beats the naive loop.
+//!
+//! The `serve` section (also forced by `--timings-json`) runs the
+//! serving-layer SLO benchmark — the same Zipfian client burst against
+//! a batching (`max_batch` 64) and a one-tweet-per-batch server, with
+//! throughput and p50/p99 ingest-to-ack latency per side — and
+//! likewise needs no trained experiment. The rows land in the timings
+//! JSON under `"serve"` (conventionally uploaded as
+//! `BENCH_serve.json`). On multicore hosts the run *asserts* batching
+//! delivers ≥ 2x the one-tweet-per-batch throughput.
 
 use std::time::Instant;
 
@@ -55,6 +65,7 @@ fn write_timings_json(
     store: Option<&tables::StoreBenchResult>,
     parallel: Option<&tables::ParallelBenchResult>,
     kernels: Option<&tables::KernelBenchResult>,
+    serve: Option<&tables::ServeBenchResult>,
 ) {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -140,6 +151,31 @@ fn write_timings_json(
             k.parallelism,
         ));
     }
+    if let Some(s) = serve {
+        out.push_str(&format!(
+            ",\n  \"serve\": {{\"writers\": {}, \"requests\": {}, \"lines\": {}, \
+             \"tweets\": {}, \"surfaces\": {}, \
+             \"batched\": {{\"rps\": {:.1}, \"p50_ack_us\": {}, \"p99_ack_us\": {}, \
+             \"batches\": {}, \"max_batch\": {}}}, \
+             \"one_per_batch\": {{\"rps\": {:.1}, \"p50_ack_us\": {}, \"p99_ack_us\": {}}}, \
+             \"batching_speedup\": {:.3}, \"parallelism\": {}}}",
+            s.writers,
+            s.requests,
+            s.lines,
+            s.tweets,
+            s.surfaces,
+            s.batched_rps,
+            s.batched_p50_us,
+            s.batched_p99_us,
+            s.batched_batches,
+            s.batched_max_batch,
+            s.single_rps,
+            s.single_p50_us,
+            s.single_p99_us,
+            s.batching_speedup,
+            s.parallelism,
+        ));
+    }
     out.push_str("\n}\n");
     if let Err(e) = std::fs::write(path, out) {
         eprintln!("[reproduce] failed to write {path}: {e}");
@@ -190,7 +226,7 @@ fn main() {
     }
     const KNOWN: &[&str] = &[
         "all", "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "casestudy",
-        "errors", "emd", "ablations", "store", "parallel", "kernels",
+        "errors", "emd", "ablations", "store", "parallel", "kernels", "serve",
     ];
     if let Some(bad) = sections.iter().find(|s| !KNOWN.contains(&s.as_str())) {
         eprintln!("unknown section {bad:?}; known sections: {}", KNOWN.join(" "));
@@ -203,6 +239,25 @@ fn main() {
     // printed.
     let run_parallel = sections.iter().any(|s| s == "parallel") || timings_json.is_some();
     let run_kernels = sections.iter().any(|s| s == "kernels") || timings_json.is_some();
+    let run_serve = sections.iter().any(|s| s == "serve") || timings_json.is_some();
+    let run_serve_section = || {
+        eprintln!("[reproduce] running serving-layer SLO benchmark...");
+        let t = Instant::now();
+        let s = tables::serve_bench();
+        eprintln!("[reproduce] serve bench done in {:.1}s", t.elapsed().as_secs_f64());
+        println!("{}", tables::serve_table(&s));
+        // Wall-clock SLOs need real cores (same convention as the
+        // executor and kernel benchmarks).
+        if s.parallelism > 1 && s.batching_speedup < 2.0 {
+            eprintln!(
+                "[reproduce] FAIL: batching ingest is only {:.2}x the one-tweet-per-batch \
+                 throughput (< 2x) — server-side coalescing is not paying for itself",
+                s.batching_speedup
+            );
+            std::process::exit(1);
+        }
+        s
+    };
     let run_kernel_section = || {
         eprintln!("[reproduce] running fused-kernel benchmarks...");
         let t = Instant::now();
@@ -233,7 +288,7 @@ fn main() {
     if timings_json.is_none()
         && store_dir.is_none()
         && !sections.is_empty()
-        && sections.iter().all(|s| s == "parallel" || s == "kernels")
+        && sections.iter().all(|s| s == "parallel" || s == "kernels" || s == "serve")
     {
         let t = Instant::now();
         if run_parallel {
@@ -242,6 +297,9 @@ fn main() {
         }
         if run_kernels {
             run_kernel_section();
+        }
+        if run_serve {
+            run_serve_section();
         }
         eprintln!("[reproduce] total {:.1}s", t.elapsed().as_secs_f64());
         return;
@@ -368,6 +426,7 @@ fn main() {
         None
     };
     let kernels = if run_kernels { Some(run_kernel_section()) } else { None };
+    let serve = if run_serve { Some(run_serve_section()) } else { None };
     if let Some(path) = &timings_json {
         write_timings_json(
             path,
@@ -376,6 +435,7 @@ fn main() {
             store.as_ref(),
             parallel.as_ref(),
             kernels.as_ref(),
+            serve.as_ref(),
         );
     }
     eprintln!("[reproduce] total {:.1}s", t0.elapsed().as_secs_f64());

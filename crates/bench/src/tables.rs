@@ -1025,3 +1025,199 @@ pub fn kernel_table(r: &KernelBenchResult) -> String {
         &rows,
     )
 }
+
+/// The serving-layer SLO benchmark of [`serve_bench`]: the same
+/// Zipfian client burst replayed against a batching server
+/// (`max_batch` 64) and a one-tweet-per-batch server, with per-side
+/// throughput and ingest-to-ack latency percentiles.
+pub struct ServeBenchResult {
+    /// Concurrent client threads per side.
+    pub writers: usize,
+    /// Requests per writer.
+    pub requests: usize,
+    /// Tweets per request body.
+    pub lines: usize,
+    /// Total tweets per side (`writers * requests * lines`).
+    pub tweets: usize,
+    /// Distinct Zipf-sampled entity surfaces in the burst.
+    pub surfaces: usize,
+    /// Wall-clock seconds for the batching side.
+    pub batched_s: f64,
+    /// Tweets per second, batching side.
+    pub batched_rps: f64,
+    /// Ingest-to-ack latency percentiles (µs), batching side.
+    pub batched_p50_us: u64,
+    pub batched_p99_us: u64,
+    /// Batches the batching side committed (coalescing evidence).
+    pub batched_batches: u64,
+    /// Largest batch it coalesced.
+    pub batched_max_batch: u64,
+    /// Wall-clock seconds for the one-tweet-per-batch side.
+    pub single_s: f64,
+    /// Tweets per second, one-tweet-per-batch side.
+    pub single_rps: f64,
+    /// Ingest-to-ack latency percentiles (µs), one-per-batch side.
+    pub single_p50_us: u64,
+    pub single_p99_us: u64,
+    /// `batched_rps / single_rps` — what server-side coalescing buys.
+    pub batching_speedup: f64,
+    /// Host parallelism; speedups are only asserted on multicore.
+    pub parallelism: usize,
+}
+
+/// One side of the serving benchmark: a fresh store + server with the
+/// given `max_batch`, hit by the deterministic Zipfian burst.
+struct ServeSide {
+    elapsed_s: f64,
+    p50_us: u64,
+    p99_us: u64,
+    batches: u64,
+    max_batch: u64,
+}
+
+const SERVE_WRITERS: usize = 4;
+const SERVE_REQUESTS: usize = 16;
+const SERVE_LINES: usize = 8;
+const SERVE_SURFACES: usize = 64;
+
+/// Zipf-like (log-uniform) surface index in `0..n` — a heavy head and
+/// a long tail, the shape of a trending-entity burst.
+fn zipf_index(rng: &mut ngl_runtime::faults::SplitMix64, n: usize) -> usize {
+    let r = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    ((n as f64).powf(r) as usize).min(n - 1)
+}
+
+fn serve_burst_tweet(rng: &mut ngl_runtime::faults::SplitMix64, id: u64) -> String {
+    let k = zipf_index(rng, SERVE_SURFACES);
+    let places = ["Paris", "Oslo", "Lima", "Cairo"];
+    format!(
+        "{id}\tCelebrity{k} Star{k} trending in {} now t{id}",
+        places[(rng.next_u64() % 4) as usize]
+    )
+}
+
+fn serve_side(max_batch: usize, seed: u64) -> ServeSide {
+    use ngl_core::{DurableGlobalizer, GlobalizerConfig, PoolPolicy};
+    use ngl_serve::{client::Client, devstack, ServeConfig, Server};
+
+    let dir = std::env::temp_dir().join(format!(
+        "ngl-serve-bench-{}-{max_batch}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = GlobalizerConfig { pool: PoolPolicy::Shared, ..Default::default() };
+    let (durable, recovery) =
+        DurableGlobalizer::open(devstack::pipeline(cfg), &dir, 1_000_000).expect("open store");
+    let server = Server::start(
+        durable,
+        recovery,
+        ServeConfig {
+            max_batch,
+            max_delay_ms: 2,
+            queue_cap: 4096,
+            // Finalize cadence is per *batch* on both sides — part of
+            // what coalescing amortizes.
+            finalize_every: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr().to_string();
+
+    let t = std::time::Instant::now();
+    let handles: Vec<_> = (0..SERVE_WRITERS)
+        .map(|w| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut rng =
+                    ngl_runtime::faults::SplitMix64::new(seed ^ (w as u64).wrapping_mul(0x9E37));
+                let mut client = Client::new(addr);
+                for r in 0..SERVE_REQUESTS {
+                    let body: String = (0..SERVE_LINES)
+                        .map(|l| {
+                            let id = (w * 1_000_000 + r * SERVE_LINES + l) as u64;
+                            format!("{}\n", serve_burst_tweet(&mut rng, id))
+                        })
+                        .collect();
+                    let (status, body) = client.ingest(&body).expect("ingest");
+                    assert_eq!(status, 200, "bench burst must not shed: {body}");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("bench writer");
+    }
+    let elapsed_s = t.elapsed().as_secs_f64();
+
+    let stats = server.stats();
+    let (p50_us, p99_us) = stats.ack_latency_percentiles_us();
+    let accepted = stats.accepted.load(std::sync::atomic::Ordering::Relaxed);
+    let tweets = (SERVE_WRITERS * SERVE_REQUESTS * SERVE_LINES) as u64;
+    assert_eq!(accepted, tweets, "every bench tweet must be acked");
+    let batches = stats.batches.load(std::sync::atomic::Ordering::Relaxed);
+    let max_batch = stats.max_batch.load(std::sync::atomic::Ordering::Relaxed);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    ServeSide { elapsed_s, p50_us, p99_us, batches, max_batch }
+}
+
+/// Runs the Zipfian burst against the batching and one-tweet-per-batch
+/// servers and reports throughput + ack-latency SLO rows.
+pub fn serve_bench() -> ServeBenchResult {
+    let tweets = SERVE_WRITERS * SERVE_REQUESTS * SERVE_LINES;
+    let batched = serve_side(64, 0x5E47E);
+    let single = serve_side(1, 0x5E47E);
+    let batched_rps = tweets as f64 / batched.elapsed_s.max(f64::MIN_POSITIVE);
+    let single_rps = tweets as f64 / single.elapsed_s.max(f64::MIN_POSITIVE);
+    ServeBenchResult {
+        writers: SERVE_WRITERS,
+        requests: SERVE_REQUESTS,
+        lines: SERVE_LINES,
+        tweets,
+        surfaces: SERVE_SURFACES,
+        batched_s: batched.elapsed_s,
+        batched_rps,
+        batched_p50_us: batched.p50_us,
+        batched_p99_us: batched.p99_us,
+        batched_batches: batched.batches,
+        batched_max_batch: batched.max_batch,
+        single_s: single.elapsed_s,
+        single_rps,
+        single_p50_us: single.p50_us,
+        single_p99_us: single.p99_us,
+        batching_speedup: batched_rps / single_rps.max(f64::MIN_POSITIVE),
+        parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Renders the [`serve_bench`] SLO comparison as a two-row table.
+pub fn serve_table(r: &ServeBenchResult) -> String {
+    let rows = vec![
+        vec![
+            "batched_ingest".to_string(),
+            format!("{} tweets, max_batch 64", r.tweets),
+            format!("{:.0} tw/s", r.batched_rps),
+            format!("{} us", r.batched_p50_us),
+            format!("{} us", r.batched_p99_us),
+            format!("{:.2}x", r.batching_speedup),
+        ],
+        vec![
+            "one_per_batch".to_string(),
+            format!("{} tweets, max_batch 1", r.tweets),
+            format!("{:.0} tw/s", r.single_rps),
+            format!("{} us", r.single_p50_us),
+            format!("{} us", r.single_p99_us),
+            "1.00x".to_string(),
+        ],
+    ];
+    render_table(
+        &format!(
+            "Serving layer: Zipfian burst, {} writers x {} reqs x {} lines \
+             (host parallelism {})",
+            r.writers, r.requests, r.lines, r.parallelism
+        ),
+        &["Bench", "Workload", "Throughput", "p50 ack", "p99 ack", "Speedup"],
+        &rows,
+    )
+}

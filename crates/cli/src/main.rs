@@ -8,6 +8,9 @@
 //! ngl tag      --model model.nglb [--input tweets.txt] [--conll] \
 //!              [--store-dir DIR] [--checkpoint-every N]
 //! ngl recover  --model model.nglb --store-dir DIR [--checkpoint-every N]
+//! ngl serve    --model model.nglb --store-dir DIR [--addr HOST:PORT] \
+//!              [--max-batch N] [--max-delay-ms N] [--queue-cap N] \
+//!              [--finalize-every N] [--checkpoint-every N]
 //! ngl eval     --gold gold.conll --pred pred.conll
 //! ```
 //!
@@ -19,8 +22,11 @@
 //! durable: batches are write-ahead logged and state checkpoints
 //! incrementally, so a later `tag` or `recover` on the same dir resumes
 //! where the stream left off; `recover` replays a store dir without
-//! ingesting anything new and reports the recovered state; `eval`
-//! scores CoNLL predictions against CoNLL gold.
+//! ingesting anything new and reports the recovered state; `serve`
+//! exposes the durable pipeline over HTTP — batching ingest, read-only
+//! queries against the last finalized state, and typed admission
+//! control (see `ngl_serve`); `eval` scores CoNLL predictions against
+//! CoNLL gold.
 
 #![forbid(unsafe_code)]
 
@@ -29,8 +35,8 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use ngl_core::{
-    model_fingerprint, train_globalizer, DurableGlobalizer, GlobalizerBundle, GlobalizerConfig,
-    GlobalizerTrainingConfig, NerGlobalizer,
+    model_fingerprint, train_globalizer, DegradationMode, DurableGlobalizer, GlobalizerBundle,
+    GlobalizerConfig, GlobalizerTrainingConfig, NerGlobalizer, PoolPolicy,
 };
 use ngl_corpus::{profiles, Dataset, KnowledgeBase};
 use ngl_encoder::{train_encoder, EncoderConfig, TokenEncoder, TrainConfig};
@@ -44,6 +50,7 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&parse_flags(&args[1..])),
         Some("tag") => cmd_tag(&parse_flags(&args[1..])),
         Some("recover") => cmd_recover(&parse_flags(&args[1..])),
+        Some("serve") => cmd_serve(&parse_flags(&args[1..])),
         Some("eval") => cmd_eval(&parse_flags(&args[1..])),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprintln!("{}", USAGE);
@@ -65,6 +72,8 @@ const USAGE: &str = "usage:
   ngl train    --train train.conll --d5 d5.conll --out model.nglb [--dim 32] [--epochs 8]
   ngl tag      --model model.nglb [--input tweets.txt] [--conll] [--store-dir DIR] [--checkpoint-every N]
   ngl recover  --model model.nglb --store-dir DIR [--checkpoint-every N]
+  ngl serve    --model model.nglb --store-dir DIR [--addr HOST:PORT] [--max-batch N]
+               [--max-delay-ms N] [--queue-cap N] [--finalize-every N] [--checkpoint-every N]
   ngl eval     --gold gold.conll --pred pred.conll";
 
 /// Parses `--key value` pairs plus bare `--flag` switches.
@@ -233,7 +242,7 @@ fn cmd_tag(flags: &HashMap<String, String>) -> Result<(), String> {
         bundle.classifier,
         GlobalizerConfig::default(),
     );
-    let (spans, n_surfaces) = match flags.get("store-dir") {
+    let (spans, n_surfaces, wedged) = match flags.get("store-dir") {
         Some(dir) => {
             let every: usize = parse_num(flags, "checkpoint-every", 8)?;
             let fp = model_file_fingerprint(model)?;
@@ -265,12 +274,13 @@ fn cmd_tag(flags: &HashMap<String, String>) -> Result<(), String> {
             // A resumed store emits spans for every retained tweet;
             // this invocation only prints the ones it just ingested.
             let skip = all.len().saturating_sub(tweets.len());
-            (all[skip..].to_vec(), durable.inner().n_surfaces())
+            let wedged = health.mode() == DegradationMode::ReadOnly;
+            (all[skip..].to_vec(), durable.inner().n_surfaces(), wedged)
         }
         None => {
             let mut pipeline = pipeline;
             pipeline.process_batch(&tweets);
-            (pipeline.finalize(), pipeline.n_surfaces())
+            (pipeline.finalize(), pipeline.n_surfaces(), false)
         }
     };
 
@@ -294,6 +304,11 @@ fn cmd_tag(flags: &HashMap<String, String>) -> Result<(), String> {
         tweets.len(),
         n_surfaces
     );
+    if wedged {
+        // Scripts need a hard signal that the store stopped accepting
+        // writes; the tagged output above is still valid read state.
+        return Err("store is read-only: the degradation ladder wedged at ReadOnly".to_string());
+    }
     Ok(())
 }
 
@@ -359,6 +374,55 @@ fn cmd_recover(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     drop(durable); // recovery only: nothing new is logged
     Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model = required(flags, "model")?;
+    let dir = required(flags, "store-dir")?;
+    let every: usize = parse_num(flags, "checkpoint-every", 8)?;
+    let bundle = GlobalizerBundle::load(model).map_err(|e| e.to_string())?;
+    // Ingest batches and query handlers run concurrently; share one
+    // runtime pool between them instead of spinning up a second one.
+    let pipeline = NerGlobalizer::new(
+        bundle.encoder,
+        bundle.phrase,
+        bundle.classifier,
+        GlobalizerConfig { pool: PoolPolicy::Shared, ..Default::default() },
+    );
+    let fp = model_file_fingerprint(model)?;
+    let (durable, report) =
+        DurableGlobalizer::open_with_fingerprint(pipeline, dir, every, Some(fp))
+            .map_err(|e| e.to_string())?;
+    if report.replayed_batches > 0 || report.snapshot_seq.is_some() {
+        eprintln!(
+            "resumed store {dir}: {} tweets, watermark {}{}",
+            report.tweets,
+            report.watermark,
+            if report.torn_tail { " (torn tail discarded)" } else { "" }
+        );
+    }
+    let cfg = ngl_serve::ServeConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        max_batch: parse_num(flags, "max-batch", 64)?,
+        max_delay_ms: parse_num(flags, "max-delay-ms", 5)?,
+        queue_cap: parse_num(flags, "queue-cap", 1024)?,
+        finalize_every: parse_num(flags, "finalize-every", 8)?,
+        ack_timeout_ms: parse_num(flags, "ack-timeout-ms", 10_000)?,
+        pressure_shed_milli: parse_num(flags, "pressure-shed-milli", 2000)?,
+    };
+    let server = ngl_serve::Server::start(durable, report, cfg).map_err(|e| e.to_string())?;
+    println!("LISTENING {}", server.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    eprintln!("serving on {} — POST /ingest, GET /tag /surface /stats /health", server.addr());
+    // Serve until the process is terminated; all the work happens on
+    // the server's accept and engine threads.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
 }
 
 type Sentences = Vec<(Vec<String>, Vec<Span>)>;

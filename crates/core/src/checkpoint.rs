@@ -407,6 +407,10 @@ fn get_config(buf: &mut Bytes) -> Result<GlobalizerConfig, CodecError> {
         retention,
         max_tweet_tokens,
         reject_empty,
+        // The pool policy is a process-local construction choice, not
+        // stream state: it is never written (the wire format predates
+        // it) and the opener re-applies its own policy after recovery.
+        pool: crate::pipeline::PoolPolicy::default(),
     })
 }
 

@@ -570,6 +570,12 @@ pub struct RecoveryReport {
     /// run degraded and never healed with a snapshot; the replayed
     /// state is the fault-free reconstruction of the logged inputs.
     pub unverified_finalizes: usize,
+    /// The tweet-id partition of every replayed id-carrying batch, in
+    /// log order. This is the exact batch boundary the pre-crash run
+    /// committed, so a verifier can re-run the same partition cleanly
+    /// and compare states bit for bit (the serving kill-under-load
+    /// oracle). Batches without ids contribute empty rows.
+    pub batch_ids: Vec<Vec<u64>>,
 }
 
 /// Byte accounting for the delta-vs-snapshot comparison.
@@ -906,10 +912,12 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
                     }
                     match ids {
                         Some(ids) => {
+                            report.batch_ids.push(ids.clone());
                             let batch = ids.into_iter().zip(tweets).collect();
                             inner.try_process_batch_with_ids(batch);
                         }
                         None => {
+                            report.batch_ids.push(Vec::new());
                             inner.try_process_batch_owned(tweets);
                         }
                     }

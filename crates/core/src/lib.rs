@@ -52,8 +52,8 @@ pub use durable::{
 pub use persist::{GlobalizerBundle, PersistError};
 pub use phrase::{PhraseEmbedder, PhraseEmbedderConfig, PhraseLoss};
 pub use pipeline::{
-    AblationMode, BatchOutput, BatchReport, GlobalizerConfig, NerGlobalizer, RetentionPolicy,
-    StageTimings,
+    AblationMode, BatchOutput, BatchReport, ClusterSummary, GlobalizerConfig, NerGlobalizer,
+    PoolPolicy, QueryTag, RetentionPolicy, StageTimings, SurfaceSummary,
 };
 pub use pooling::AttentivePooling;
 pub use train::{train_globalizer, GlobalizerTrainingConfig, GlobalizerTrainingReport};

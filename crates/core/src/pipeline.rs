@@ -123,6 +123,22 @@ pub enum RetentionPolicy {
     SpillCold(usize),
 }
 
+/// Which [`Executor`] a freshly assembled pipeline runs on. Serialized
+/// as a policy (not a handle) so [`GlobalizerConfig`] stays `Copy` and
+/// checkpoint-safe; the actual pool is resolved at construction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PoolPolicy {
+    /// Each pipeline builds its own executor via [`Executor::from_env`]
+    /// (the default; historical behaviour).
+    #[default]
+    PerPipeline,
+    /// Use the process-wide [`Executor::shared`] pool. The serving
+    /// front-end runs its ingest loop and query handlers on one pool
+    /// this way instead of oversubscribing cores with one pool per
+    /// pipeline clone.
+    Shared,
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct GlobalizerConfig {
@@ -153,6 +169,12 @@ pub struct GlobalizerConfig {
     /// the historical 1:1 batch-to-store mapping.
     #[serde(default)]
     pub reject_empty: bool,
+    /// Which executor the pipeline is constructed with — per-pipeline
+    /// (default) or the process-wide shared pool. Not part of the
+    /// checkpoint wire format: recovery restores the default and the
+    /// opener re-applies its policy.
+    #[serde(default, skip_serializing)]
+    pub pool: PoolPolicy,
 }
 
 fn default_max_tweet_tokens() -> usize {
@@ -169,6 +191,7 @@ impl Default for GlobalizerConfig {
             retention: RetentionPolicy::Unbounded,
             max_tweet_tokens: default_max_tweet_tokens(),
             reject_empty: false,
+            pool: PoolPolicy::PerPipeline,
         }
     }
 }
@@ -226,6 +249,59 @@ impl BatchReport {
     pub fn all_ok(&self) -> bool {
         self.rejected.is_empty() && self.truncated.is_empty()
     }
+}
+
+/// One span from the read-only query path
+/// ([`NerGlobalizer::tag_query`]), with its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTag {
+    /// The tagged span (token coordinates in the queried message).
+    pub span: Span,
+    /// Canonical (folded, space-joined) surface the CTrie matched;
+    /// `None` for spans contributed by Local NER alone.
+    pub surface: Option<String>,
+    /// Cosine similarity to the winning labeled cluster centroid;
+    /// `None` for local-only spans.
+    pub score: Option<f32>,
+    /// Whether the type came from the global candidate state rather
+    /// than the local tagger.
+    pub global: bool,
+}
+
+/// Per-cluster line of a [`SurfaceSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSummary {
+    /// `None` — not yet classified; `Some(None)` — classified
+    /// non-entity; `Some(Some(ty))` — entity cluster (the
+    /// [`crate::bases::CandidateCluster::label`] lattice).
+    pub label: Option<Option<EntityType>>,
+    /// Number of member mentions.
+    pub members: usize,
+}
+
+/// Read-only snapshot of one surface's global state
+/// ([`NerGlobalizer::surface_summary`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurfaceSummary {
+    /// The canonical (folded, space-joined) form the query resolved to.
+    pub surface: String,
+    /// Whether the surface is registered in the CTrie at all.
+    pub known: bool,
+    /// Whether a resident [`crate::bases::SurfaceEntry`] backs the
+    /// counts below. `false` for unknown surfaces and for entries
+    /// spilled cold to disk — the summary reflects *resident* finalized
+    /// state, consistent with the serving snapshot rule.
+    pub resident: bool,
+    /// Mentions recorded for this surface.
+    pub mentions: usize,
+    /// One line per candidate cluster.
+    pub clusters: Vec<ClusterSummary>,
+    /// LRU touch stamp (spill-eviction recency; 0 when untracked).
+    pub touched: u64,
+    /// Mentions both frozen (source tweet evicted) and stale (the trie
+    /// grew after extraction) — see
+    /// [`NerGlobalizer::stale_frozen_mentions`].
+    pub stale_frozen: usize,
 }
 
 /// The NER Globalizer system.
@@ -322,7 +398,10 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
             tweets: TweetBase::new(),
             candidates: CandidateBase::new(),
             timings: StageTimings::default(),
-            exec: Executor::from_env(),
+            exec: match cfg.pool {
+                PoolPolicy::PerPipeline => Executor::from_env(),
+                PoolPolicy::Shared => Executor::shared(),
+            },
             scanned_tweets: 0,
             scanned_version: 0,
             mention_cache: HashMap::new(),
@@ -1123,6 +1202,126 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
                 }
             }
             AblationMode::LocalOnly => {}
+        }
+    }
+
+    /// Tags one message against the **current** global state without
+    /// mutating anything — the serving query path. The message is
+    /// encoded with the local tagger, scanned against the CTrie, and
+    /// each matched mention is embedded and resolved to the
+    /// nearest-by-cosine *labeled* cluster of its surface's resident
+    /// candidate entry; Local NER spans that don't overlap a global
+    /// match fill the gaps. Spans come back sorted by `(start, end)`.
+    ///
+    /// Ablation modes mirror batch emission: `LocalOnly` returns local
+    /// spans only; `LocalClassifier` classifies each matched mention's
+    /// embedding directly instead of consulting cluster labels.
+    ///
+    /// Surfaces whose entries are spilled cold contribute nothing —
+    /// queries see resident finalized state (the documented snapshot
+    /// rule), and the stream itself is unaffected.
+    pub fn tag_query(&self, tokens: &[String]) -> Vec<QueryTag> {
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let tokens = &tokens[..tokens.len().min(self.cfg.max_tweet_tokens)];
+        let enc = self.local.encode(tokens);
+        let local_spans = decode_bio(&enc.tags);
+        let mut out: Vec<QueryTag> = Vec::new();
+        if self.cfg.ablation != AblationMode::LocalOnly {
+            for occ in self.ctrie.extract_mentions(tokens, self.cfg.max_mention_len) {
+                let Some(entry) = self.candidates.get(&occ.surface) else {
+                    continue;
+                };
+                // The span type is irrelevant to pooling; `Person` is a
+                // placeholder overwritten by the resolved label below.
+                let probe = Span::new(occ.start, occ.end, EntityType::Person);
+                let emb = self.phrase.embed(&enc.embeddings, &probe);
+                let resolved = match self.cfg.ablation {
+                    AblationMode::LocalClassifier => self
+                        .classifier
+                        .predict_confident(
+                            &Matrix::from_rows(&[emb.as_slice()]),
+                            self.cfg.min_confidence,
+                        )
+                        .map(|ty| (ty, None)),
+                    _ => {
+                        let labeled: Vec<(EntityType, &[f32])> = entry
+                            .clusters
+                            .iter()
+                            .filter_map(|c| match c.label {
+                                Some(Some(ty)) => Some((ty, c.global_emb.as_slice())),
+                                _ => None,
+                            })
+                            .collect();
+                        let rows: Vec<&[f32]> = labeled.iter().map(|(_, e)| *e).collect();
+                        ngl_nn::kernels::cosine_best_of(&emb, &rows)
+                            .map(|(i, score)| (labeled[i].0, Some(score)))
+                    }
+                };
+                if let Some((ty, score)) = resolved {
+                    out.push(QueryTag {
+                        span: Span::new(occ.start, occ.end, ty),
+                        surface: Some(occ.surface),
+                        score,
+                        global: true,
+                    });
+                }
+            }
+        }
+        for s in local_spans {
+            let overlaps =
+                out.iter().any(|t| t.span.start < s.end && s.start < t.span.end);
+            if !overlaps {
+                out.push(QueryTag { span: s, surface: None, score: None, global: false });
+            }
+        }
+        out.sort_by_key(|t| (t.span.start, t.span.end));
+        out
+    }
+
+    /// Read-only summary of one surface's global state — cluster
+    /// labels, mention counts and staleness — for the serving `surface`
+    /// endpoint. The input is folded token-wise exactly like the CTrie
+    /// scan, so `"#Coronavirus"` resolves to `"coronavirus"`.
+    pub fn surface_summary(&self, surface: &str) -> SurfaceSummary {
+        let tokens: Vec<String> = surface
+            .split_whitespace()
+            .map(ngl_ctrie::fold_token)
+            .filter(|t| !t.is_empty())
+            .collect();
+        let canonical = tokens.join(" ");
+        let known = !tokens.is_empty() && self.ctrie.contains(&tokens);
+        let Some(entry) = self.candidates.get(&canonical) else {
+            return SurfaceSummary {
+                surface: canonical,
+                known,
+                resident: false,
+                mentions: 0,
+                clusters: Vec::new(),
+                touched: 0,
+                stale_frozen: 0,
+            };
+        };
+        let frozen_below = self.tweets.first_retained();
+        let live = self.ctrie.version();
+        let stale_frozen = entry
+            .mentions
+            .iter()
+            .filter(|m| m.tweet < frozen_below && m.trie_version < live)
+            .count();
+        SurfaceSummary {
+            surface: canonical,
+            known,
+            resident: true,
+            mentions: entry.mentions.len(),
+            clusters: entry
+                .clusters
+                .iter()
+                .map(|c| ClusterSummary { label: c.label, members: c.members.len() })
+                .collect(),
+            touched: entry.touched,
+            stale_frozen,
         }
     }
 

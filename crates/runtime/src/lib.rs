@@ -156,6 +156,21 @@ impl Executor {
         }
     }
 
+    /// The process-wide shared executor: one pool, sized by
+    /// [`Self::from_env`] on first use, handed out as clones (which all
+    /// share that pool — see `clones_share_one_pool`). Components that
+    /// may coexist in one process (a serving ingest loop and its query
+    /// handlers, several pipelines in one test) use this instead of
+    /// each spawning a private pool and oversubscribing the cores.
+    ///
+    /// The pool lives for the rest of the process: the registry keeps
+    /// one clone forever, so workers are never joined. That is the
+    /// point — a shared pool must outlive any individual user.
+    pub fn shared() -> Self {
+        static SHARED: std::sync::OnceLock<Executor> = std::sync::OnceLock::new();
+        SHARED.get_or_init(Self::from_env).clone()
+    }
+
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -480,6 +495,23 @@ mod tests {
         // The sequential executor spawns no pool at all.
         assert!(Executor::sequential().pool.is_none());
         assert!(Executor::sequential().pool_stats().is_none());
+    }
+
+    #[test]
+    fn shared_executor_hands_out_one_pool() {
+        let a = Executor::shared();
+        let b = Executor::shared();
+        assert_eq!(a.threads(), b.threads());
+        match (&a.pool, &b.pool) {
+            // Multi-core host (or NGL_THREADS > 1): both handles must
+            // point at the same pool.
+            (Some(pa), Some(pb)) => assert!(Arc::ptr_eq(pa, pb)),
+            // NGL_THREADS=1: the shared executor is the sequential one.
+            (None, None) => {}
+            _ => panic!("shared executor clones disagree on pooling"),
+        }
+        let out = a.par_map((0..16usize).collect(), |_, x| x + 1);
+        assert_eq!(out, (1..17usize).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! A tiny blocking HTTP client for the serving endpoints — enough for
+//! the integration tests, the bench harness and scripted smoke checks.
+//! Keep-alive: one [`Client`] holds one connection and pipelines
+//! sequential requests over it, reconnecting transparently if the
+//! server closed it.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Per-request response timeout. Generous — the admission-control
+/// contract is that the *server* answers within its own deadlines; the
+/// client cap only turns a dead server into an error instead of a hang.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One keep-alive connection to a serving instance.
+pub struct Client {
+    addr: String,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`). Connects lazily.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into(), stream: None }
+    }
+
+    /// `GET path` (path may carry a query string). Returns
+    /// `(status, body)`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request("GET", path, b"")
+    }
+
+    /// `POST /ingest` with a raw line-protocol body: one tweet per
+    /// line, each either `id<TAB>text` or bare `text`.
+    pub fn ingest(&mut self, body: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", "/ingest", body.as_bytes())
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<(u16, String)> {
+        // One transparent retry: a keep-alive peer may have closed the
+        // connection between requests.
+        match self.request_once(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                self.stream = None;
+                self.request_once(method, path, body)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, String)> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(RESPONSE_TIMEOUT))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        // The reborrow is infallible: just ensured above.
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(std::io::Error::new(ErrorKind::NotConnected, "no connection"));
+        };
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        read_response(stream)
+    }
+}
+
+fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(at) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break at;
+        }
+        match stream.read(&mut chunk)? {
+            0 => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ))
+            }
+            n => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| std::io::Error::new(ErrorKind::InvalidData, "bad length"))?;
+            }
+        }
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk)? {
+            0 => break,
+            n => body.extend_from_slice(&chunk[..n]),
+        }
+    }
+    body.truncate(content_length);
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// Percent-encodes a query value (space as `%20`).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_encode_round_trips_through_server_decoding() {
+        let original = "Andy Beshear spoke #covid 100%";
+        let encoded = percent_encode(original);
+        assert_eq!(crate::http::percent_decode(&encoded), original);
+    }
+}

@@ -1,0 +1,283 @@
+//! The batching ingest loop and the state shared between it and the
+//! connection handlers.
+//!
+//! One dedicated engine thread owns the [`DurableGlobalizer`]. Client
+//! handlers never touch durable state directly: they enqueue
+//! [`IngestItem`]s into a bounded channel and wait on a per-item ack
+//! channel. The engine drains the queue into size/time-bounded batches,
+//! commits each through [`DurableGlobalizer::process_batch_with_ids`]
+//! (WAL commit happens *before* apply, so an ack implies durability),
+//! and answers every submitter with a typed [`Ack`].
+//!
+//! Every `finalize_every` batches — or as soon as the queue goes idle —
+//! the engine finalizes and publishes a full pipeline clone as the
+//! **query snapshot**: readers always see the last finalized state and
+//! never contend with ingestion beyond one `RwLock` pointer swap.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use ngl_core::{DegradationMode, DurableGlobalizer, NerGlobalizer, RetentionPolicy};
+use ngl_encoder::ContextualTagger;
+
+use crate::stats::{add, raise, ServeStats};
+use crate::ServeConfig;
+
+/// One queued tweet: payload plus the channel its ack goes back on.
+pub(crate) struct IngestItem {
+    pub id: u64,
+    pub tokens: Vec<String>,
+    /// When the handler enqueued the item (ingest-to-ack latency
+    /// starts here).
+    pub submitted: Instant,
+    /// Capacity-1 channel; the engine sends exactly one [`Ack`].
+    pub ack: SyncSender<Ack>,
+}
+
+/// Terminal status of one submitted tweet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AckStatus {
+    /// Stored; its batch's WAL record is durable.
+    Acked,
+    /// Stored after truncation to the configured token cap.
+    AckedTruncated,
+    /// Dropped by the pipeline (duplicate id, empty tweet under
+    /// `reject_empty`, poisoned encode); the batch itself committed.
+    Rejected,
+    /// The whole batch failed to commit (typed storage error) — the
+    /// tweet is not durable and may be resubmitted.
+    Failed,
+}
+
+/// What the engine tells a submitter about one tweet.
+#[derive(Debug, Clone)]
+pub struct Ack {
+    /// The tweet id the submitter used.
+    pub id: u64,
+    /// Terminal status.
+    pub status: AckStatus,
+    /// Rejection or commit-failure detail, when there is one.
+    pub detail: Option<String>,
+}
+
+/// State shared between the engine thread and connection handlers.
+pub(crate) struct Shared<T: ContextualTagger> {
+    pub stats: ServeStats,
+    /// Last observed [`DegradationMode`], encoded via [`mode_to_u8`].
+    pub mode: AtomicU8,
+    /// Retention fill ratio in permille (1000 = exactly at the
+    /// configured cap); see [`retention_pressure_milli`].
+    pub pressure_milli: AtomicU64,
+    /// The query snapshot: the pipeline as of the last finalize.
+    pub snapshot: RwLock<Arc<NerGlobalizer<T>>>,
+    /// Set once by [`crate::Server::shutdown`]; every loop in the crate
+    /// polls it.
+    pub shutdown: AtomicBool,
+}
+
+pub(crate) fn mode_to_u8(mode: DegradationMode) -> u8 {
+    match mode {
+        DegradationMode::Healthy => 0,
+        DegradationMode::Degraded => 1,
+        DegradationMode::WalOnly => 2,
+        DegradationMode::ReadOnly => 3,
+    }
+}
+
+pub(crate) fn mode_name(encoded: u8) -> &'static str {
+    match encoded {
+        0 => "Healthy",
+        1 => "Degraded",
+        2 => "WalOnly",
+        _ => "ReadOnly",
+    }
+}
+
+/// Retention fill ratio in permille. Above 1000 the pipeline holds more
+/// than its cap between finalizes (eviction runs at finalize time), so
+/// a threshold comfortably above 1000 distinguishes "operating at cap"
+/// from "falling behind".
+pub(crate) fn retention_pressure_milli<T: ContextualTagger>(g: &NerGlobalizer<T>) -> u64 {
+    let ratio_milli = |used: u64, cap: usize| {
+        if cap == 0 {
+            return 0;
+        }
+        used.saturating_mul(1000) / cap as u64
+    };
+    match g.config().retention {
+        RetentionPolicy::Unbounded => 0,
+        RetentionPolicy::MaxTweets(cap) => {
+            let retained = g.tweet_base().len() - g.tweet_base().first_retained();
+            ratio_milli(retained as u64, cap)
+        }
+        RetentionPolicy::MaxBytes(cap) => ratio_milli(g.tweet_base().retained_bytes() as u64, cap),
+        RetentionPolicy::SpillCold(cap) => {
+            ratio_milli(g.candidate_base().resident_bytes() as u64, cap)
+        }
+    }
+}
+
+/// Mirrors store-side health and cache/IO counters into the shared
+/// stats so `/stats` serves them without touching the engine.
+pub(crate) fn refresh_store_view<T: ContextualTagger + Sync>(
+    shared: &Shared<T>,
+    durable: &DurableGlobalizer<T>,
+) {
+    let stats = &shared.stats;
+    shared.mode.store(mode_to_u8(durable.degradation().mode()), Ordering::Relaxed);
+    shared
+        .pressure_milli
+        .store(retention_pressure_milli(durable.inner()), Ordering::Relaxed);
+    if let Some(pool) = durable.spill_pool() {
+        let (hits, misses) = pool.page_cache_stats();
+        stats.spill_cache_hits.store(hits, Ordering::Relaxed);
+        stats.spill_cache_misses.store(misses, Ordering::Relaxed);
+    }
+    let io = durable.io_stats();
+    stats.io_transient_retries.store(io.transient_retries, Ordering::Relaxed);
+    stats.io_retry_exhausted.store(io.retry_exhausted, Ordering::Relaxed);
+    let store = durable.stats();
+    stats.wal_bytes_total.store(store.wal_bytes_total, Ordering::Relaxed);
+    stats.snapshots.store(store.snapshots, Ordering::Relaxed);
+}
+
+/// Finalizes, publishes the post-finalize pipeline as the new query
+/// snapshot, and refreshes the mirrored store view.
+pub(crate) fn finalize_and_publish<T: ContextualTagger + Clone + Sync>(
+    shared: &Shared<T>,
+    durable: &mut DurableGlobalizer<T>,
+) {
+    match durable.finalize() {
+        Ok(_) => add(&shared.stats.finalizes, 1),
+        Err(_) => add(&shared.stats.finalize_failures, 1),
+    }
+    publish_snapshot(shared, durable);
+}
+
+/// Publishes the current pipeline state as the query snapshot.
+pub(crate) fn publish_snapshot<T: ContextualTagger + Clone + Sync>(
+    shared: &Shared<T>,
+    durable: &DurableGlobalizer<T>,
+) {
+    let snap = Arc::new(durable.inner().clone());
+    *shared.snapshot.write().unwrap_or_else(|e| e.into_inner()) = snap;
+    refresh_store_view(shared, durable);
+}
+
+/// The engine thread body: batch, commit, ack, finalize, publish.
+pub(crate) fn run<T: ContextualTagger + Clone + Sync>(
+    mut durable: DurableGlobalizer<T>,
+    rx: Receiver<IngestItem>,
+    shared: Arc<Shared<T>>,
+    cfg: ServeConfig,
+) {
+    let max_delay = Duration::from_millis(cfg.max_delay_ms.max(1));
+    // Idle tick: long enough to avoid spinning, short enough that
+    // shutdown and idle-finalize are prompt.
+    let idle_tick = max_delay.max(Duration::from_millis(10));
+    let mut since_finalize = 0usize;
+    loop {
+        let first = match rx.recv_timeout(idle_tick) {
+            Ok(item) => item,
+            Err(RecvTimeoutError::Timeout) => {
+                // Queue drained: publish whatever the clients were
+                // promised, then keep waiting (or leave on shutdown).
+                if since_finalize > 0 {
+                    finalize_and_publish(&shared, &mut durable);
+                    since_finalize = 0;
+                }
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                if since_finalize > 0 {
+                    finalize_and_publish(&shared, &mut durable);
+                }
+                return;
+            }
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + max_delay;
+        while batch.len() < cfg.max_batch.max(1) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(item) => batch.push(item),
+                Err(_) => break,
+            }
+        }
+        commit_batch(&shared, &mut durable, batch);
+        since_finalize += 1;
+        if since_finalize >= cfg.finalize_every.max(1) {
+            finalize_and_publish(&shared, &mut durable);
+            since_finalize = 0;
+        } else {
+            refresh_store_view(&shared, &durable);
+        }
+    }
+}
+
+fn commit_batch<T: ContextualTagger + Sync>(
+    shared: &Shared<T>,
+    durable: &mut DurableGlobalizer<T>,
+    batch: Vec<IngestItem>,
+) {
+    let stats = &shared.stats;
+    let n = batch.len() as u64;
+    let payload: Vec<(u64, Vec<String>)> =
+        batch.iter().map(|item| (item.id, item.tokens.clone())).collect();
+    match durable.process_batch_with_ids(payload) {
+        Ok((_, report)) => {
+            add(&stats.batches, 1);
+            add(&stats.batch_tweets, n);
+            raise(&stats.max_batch, n);
+            let mut detail: Vec<Option<String>> = vec![None; batch.len()];
+            for (k, &pos) in report.rejected.iter().enumerate() {
+                detail[pos] = Some(
+                    report
+                        .errors
+                        .get(k)
+                        .map(|e| e.message.clone())
+                        .unwrap_or_else(|| "rejected".to_string()),
+                );
+            }
+            for (pos, item) in batch.into_iter().enumerate() {
+                let status = if report.rejected.contains(&pos) {
+                    add(&stats.rejected, 1);
+                    AckStatus::Rejected
+                } else if report.truncated.contains(&pos) {
+                    add(&stats.accepted, 1);
+                    add(&stats.truncated, 1);
+                    AckStatus::AckedTruncated
+                } else {
+                    add(&stats.accepted, 1);
+                    AckStatus::Acked
+                };
+                let us = item.submitted.elapsed().as_micros() as u64;
+                stats.record_ack_latency_us(us);
+                let ack = Ack { id: item.id, status, detail: detail[pos].take() };
+                // A submitter that already timed out dropped its
+                // receiver; the ack is simply lost.
+                let _ = item.ack.try_send(ack);
+            }
+        }
+        Err(e) => {
+            add(&stats.failed, n);
+            let msg = e.to_string();
+            for item in batch {
+                let ack = Ack {
+                    id: item.id,
+                    status: AckStatus::Failed,
+                    detail: Some(msg.clone()),
+                };
+                let _ = item.ack.try_send(ack);
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Minimal HTTP/1.1 framing over blocking sockets — just enough for
+//! the serving endpoints: request-line + headers + `Content-Length`
+//! bodies, keep-alive connections, and percent-decoded query strings.
+//! Hand-rolled because the workspace is dependency-free by charter; the
+//! parser is deliberately strict and size-capped so a malformed or
+//! adversarial client costs one bounded read, not a hang.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body.
+pub(crate) const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Per-read socket timeout; the read loop re-checks the shutdown flag
+/// at this cadence, so connections notice shutdown promptly.
+pub(crate) const READ_TICK: Duration = Duration::from_millis(100);
+/// How long an idle keep-alive connection is held open.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+/// How long a started request may take to arrive in full.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Percent-decoded query parameters.
+    pub query: HashMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+/// Why [`read_request`] returned no request.
+#[derive(Debug)]
+pub(crate) enum ReadOutcome {
+    /// A complete request was parsed.
+    Ready(Request),
+    /// Clean end of connection (EOF, idle timeout, or shutdown).
+    Closed,
+    /// The peer sent something unparseable; the caller should answer
+    /// 400 and close.
+    Malformed(&'static str),
+}
+
+/// Reads one request off a keep-alive connection. Blocks in `READ_TICK`
+/// slices so `shutdown` is honoured within one tick.
+pub(crate) fn read_request(stream: &mut TcpStream, shutdown: &AtomicBool) -> ReadOutcome {
+    let started = Instant::now();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // Head: read until the blank line.
+    let head_end = loop {
+        if let Some(at) = find_head_end(&buf) {
+            break at;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return ReadOutcome::Malformed("request head too large");
+        }
+        if shutdown.load(Ordering::Relaxed) {
+            return ReadOutcome::Closed;
+        }
+        let deadline = if buf.is_empty() { IDLE_TIMEOUT } else { REQUEST_TIMEOUT };
+        if started.elapsed() > deadline {
+            return ReadOutcome::Closed;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    };
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return ReadOutcome::Malformed("non-UTF-8 request head"),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return ReadOutcome::Malformed("bad request line");
+    };
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            match value.trim().parse::<usize>() {
+                Ok(n) if n <= MAX_BODY_BYTES => content_length = n,
+                Ok(_) => return ReadOutcome::Malformed("body too large"),
+                Err(_) => return ReadOutcome::Malformed("bad content-length"),
+            }
+        }
+    }
+    let (path, query) = parse_target(target);
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        if shutdown.load(Ordering::Relaxed) || started.elapsed() > REQUEST_TIMEOUT {
+            return ReadOutcome::Closed;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    body.truncate(content_length);
+    ReadOutcome::Ready(Request { method: method.to_string(), path, query, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_target(target: &str) -> (String, HashMap<String, String>) {
+    let (path, qs) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = HashMap::new();
+    for pair in qs.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(percent_decode(k), percent_decode(v));
+    }
+    (path.to_string(), query)
+}
+
+/// Decodes `%XX` escapes and `+`-as-space (form/query encoding).
+pub(crate) fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| (b as char).to_digit(16);
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(h), Some(l)) => {
+                        out.push((h * 16 + l) as u8);
+                        i += 2;
+                    }
+                    _ => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Writes one response with `Connection: keep-alive` framing.
+pub(crate) fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_parsing_decodes_query_pairs() {
+        let (path, query) = parse_target("/tag?q=andy+beshear%20spoke&x=1");
+        assert_eq!(path, "/tag");
+        assert_eq!(query["q"], "andy beshear spoke");
+        assert_eq!(query["x"], "1");
+    }
+
+    #[test]
+    fn percent_decode_passes_malformed_escapes_through() {
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("a%2Gb"), "a%2Gb");
+        assert_eq!(percent_decode("%41"), "A");
+    }
+
+    #[test]
+    fn json_escape_covers_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -21,6 +21,9 @@
 //!   pipeline's hot stages (`NGL_THREADS`-configurable, deterministic).
 //! * [`store`] — the durable-state substrate: append-only WAL,
 //!   crash-consistent snapshots and the cold-surface spill file.
+//! * [`serve`] — the online serving front-end: batching ingest over the
+//!   durable store, read-only queries against finalized snapshots, and
+//!   typed admission control under load or storage faults.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -35,5 +38,6 @@ pub use ngl_encoder as encoder;
 pub use ngl_eval as eval;
 pub use ngl_nn as nn;
 pub use ngl_runtime as runtime;
+pub use ngl_serve as serve;
 pub use ngl_store as store;
 pub use ngl_text as text;
