@@ -5,7 +5,7 @@
 //!           [--store-dir PATH] [--checkpoint-every N] [section ...]
 //! sections: table1 table2 table3 table4 table5 fig3 fig4
 //!           casestudy errors emd ablations store parallel kernels
-//!           serve;
+//!           serve shard;
 //!           "all" (default) runs the paper artifacts (ablations must
 //!           be requested explicitly)
 //! ```
@@ -51,6 +51,15 @@
 //! JSON under `"serve"` (conventionally uploaded as
 //! `BENCH_serve.json`). On multicore hosts the run *asserts* batching
 //! delivers ≥ 2x the one-tweet-per-batch throughput.
+//!
+//! The `shard` section (also forced by `--timings-json`) runs the
+//! sharded-serving benchmark — the same Zipfian client burst against a
+//! 1-shard and a 4-shard server, with throughput and p50/p99
+//! ingest-to-ack latency per side. The rows land in the timings JSON
+//! under `"shard"` (conventionally uploaded as `BENCH_shard.json`). On
+//! multicore hosts the run *asserts* 4 shards deliver ≥ 1.5x the
+//! 1-shard throughput; single-core hosts log the ratio and skip the
+//! assert (replicated ingest has nothing to parallelize against).
 
 use std::time::Instant;
 
@@ -58,6 +67,7 @@ use ngl_bench::{tables, Experiment, Scale};
 
 /// Hand-rolled JSON emission (the workspace deliberately has no JSON
 /// dependency); dataset names are alphanumeric, so no escaping needed.
+#[allow(clippy::too_many_arguments)] // one slot per optional bench section
 fn write_timings_json(
     path: &str,
     exp: &Experiment,
@@ -66,6 +76,7 @@ fn write_timings_json(
     parallel: Option<&tables::ParallelBenchResult>,
     kernels: Option<&tables::KernelBenchResult>,
     serve: Option<&tables::ServeBenchResult>,
+    shard: Option<&tables::ShardBenchResult>,
 ) {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -176,6 +187,28 @@ fn write_timings_json(
             s.parallelism,
         ));
     }
+    if let Some(s) = shard {
+        out.push_str(&format!(
+            ",\n  \"shard\": {{\"writers\": {}, \"requests\": {}, \"lines\": {}, \
+             \"tweets\": {}, \"shards\": {}, \
+             \"sharded\": {{\"rps\": {:.1}, \"p50_ack_us\": {}, \"p99_ack_us\": {}}}, \
+             \"one_shard\": {{\"rps\": {:.1}, \"p50_ack_us\": {}, \"p99_ack_us\": {}}}, \
+             \"shard_speedup\": {:.3}, \"parallelism\": {}}}",
+            s.writers,
+            s.requests,
+            s.lines,
+            s.tweets,
+            s.shards,
+            s.sharded_rps,
+            s.sharded_p50_us,
+            s.sharded_p99_us,
+            s.single_rps,
+            s.single_p50_us,
+            s.single_p99_us,
+            s.shard_speedup,
+            s.parallelism,
+        ));
+    }
     out.push_str("\n}\n");
     if let Err(e) = std::fs::write(path, out) {
         eprintln!("[reproduce] failed to write {path}: {e}");
@@ -226,7 +259,7 @@ fn main() {
     }
     const KNOWN: &[&str] = &[
         "all", "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "casestudy",
-        "errors", "emd", "ablations", "store", "parallel", "kernels", "serve",
+        "errors", "emd", "ablations", "store", "parallel", "kernels", "serve", "shard",
     ];
     if let Some(bad) = sections.iter().find(|s| !KNOWN.contains(&s.as_str())) {
         eprintln!("unknown section {bad:?}; known sections: {}", KNOWN.join(" "));
@@ -240,6 +273,31 @@ fn main() {
     let run_parallel = sections.iter().any(|s| s == "parallel") || timings_json.is_some();
     let run_kernels = sections.iter().any(|s| s == "kernels") || timings_json.is_some();
     let run_serve = sections.iter().any(|s| s == "serve") || timings_json.is_some();
+    let run_shard = sections.iter().any(|s| s == "shard") || timings_json.is_some();
+    let run_shard_section = || {
+        eprintln!("[reproduce] running sharded-serving benchmark...");
+        let t = Instant::now();
+        let s = tables::shard_bench(4);
+        eprintln!("[reproduce] shard bench done in {:.1}s", t.elapsed().as_secs_f64());
+        println!("{}", tables::shard_table(&s));
+        // Throughput comparisons need real cores: every shard replays
+        // the full ingest stream, so on one core sharding can only tie.
+        if s.parallelism > 1 && s.shard_speedup < 1.5 {
+            eprintln!(
+                "[reproduce] FAIL: {} shards deliver only {:.2}x the 1-shard \
+                 throughput (< 1.5x) — ownership partitioning is not paying for itself",
+                s.shards, s.shard_speedup
+            );
+            std::process::exit(1);
+        }
+        if s.parallelism <= 1 {
+            eprintln!(
+                "[reproduce] single-core host: shard speedup {:.2}x logged, assert skipped",
+                s.shard_speedup
+            );
+        }
+        s
+    };
     let run_serve_section = || {
         eprintln!("[reproduce] running serving-layer SLO benchmark...");
         let t = Instant::now();
@@ -288,7 +346,9 @@ fn main() {
     if timings_json.is_none()
         && store_dir.is_none()
         && !sections.is_empty()
-        && sections.iter().all(|s| s == "parallel" || s == "kernels" || s == "serve")
+        && sections
+            .iter()
+            .all(|s| s == "parallel" || s == "kernels" || s == "serve" || s == "shard")
     {
         let t = Instant::now();
         if run_parallel {
@@ -300,6 +360,9 @@ fn main() {
         }
         if run_serve {
             run_serve_section();
+        }
+        if run_shard {
+            run_shard_section();
         }
         eprintln!("[reproduce] total {:.1}s", t.elapsed().as_secs_f64());
         return;
@@ -427,6 +490,7 @@ fn main() {
     };
     let kernels = if run_kernels { Some(run_kernel_section()) } else { None };
     let serve = if run_serve { Some(run_serve_section()) } else { None };
+    let shard = if run_shard { Some(run_shard_section()) } else { None };
     if let Some(path) = &timings_json {
         write_timings_json(
             path,
@@ -436,6 +500,7 @@ fn main() {
             parallel.as_ref(),
             kernels.as_ref(),
             serve.as_ref(),
+            shard.as_ref(),
         );
     }
     eprintln!("[reproduce] total {:.1}s", t0.elapsed().as_secs_f64());

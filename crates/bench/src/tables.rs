@@ -1221,3 +1221,162 @@ pub fn serve_table(r: &ServeBenchResult) -> String {
         &rows,
     )
 }
+
+/// The sharded-serving benchmark of [`shard_bench`]: the same Zipfian
+/// client burst replayed against a 1-shard and an N-shard server, with
+/// per-side throughput and ingest-to-ack latency percentiles.
+pub struct ShardBenchResult {
+    /// Concurrent client threads per side.
+    pub writers: usize,
+    /// Requests per writer.
+    pub requests: usize,
+    /// Tweets per request body.
+    pub lines: usize,
+    /// Total tweets per side (`writers * requests * lines`).
+    pub tweets: usize,
+    /// Shard count on the sharded side.
+    pub shards: u32,
+    /// Wall-clock seconds for the 1-shard side.
+    pub single_s: f64,
+    /// Tweets per second, 1-shard side.
+    pub single_rps: f64,
+    /// Ingest-to-ack latency percentiles (µs), 1-shard side.
+    pub single_p50_us: u64,
+    pub single_p99_us: u64,
+    /// Wall-clock seconds for the N-shard side.
+    pub sharded_s: f64,
+    /// Tweets per second, N-shard side.
+    pub sharded_rps: f64,
+    /// Ingest-to-ack latency percentiles (µs), N-shard side.
+    pub sharded_p50_us: u64,
+    pub sharded_p99_us: u64,
+    /// `sharded_rps / single_rps` — what ownership partitioning buys.
+    pub shard_speedup: f64,
+    /// Host parallelism; speedups are only asserted on multicore.
+    pub parallelism: usize,
+}
+
+/// One side of the sharding benchmark: a fresh sharded store + server
+/// with the given shard count, hit by the deterministic Zipfian burst.
+fn shard_side(shards: u32, seed: u64) -> ServeSide {
+    use ngl_core::{GlobalizerConfig, PoolPolicy, ShardedGlobalizer};
+    use ngl_serve::{client::Client, devstack, ServeConfig, Server};
+
+    let dir = std::env::temp_dir().join(format!(
+        "ngl-shard-bench-{}-{shards}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = GlobalizerConfig { pool: PoolPolicy::Shared, ..Default::default() };
+    let (sharded, recovery) =
+        ShardedGlobalizer::open(devstack::pipeline(cfg), &dir, 1_000_000, shards)
+            .expect("open sharded store");
+    let server = Server::start_sharded(
+        sharded,
+        recovery,
+        ServeConfig {
+            max_batch: 64,
+            max_delay_ms: 2,
+            queue_cap: 4096,
+            finalize_every: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr().to_string();
+
+    let t = std::time::Instant::now();
+    let handles: Vec<_> = (0..SERVE_WRITERS)
+        .map(|w| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut rng =
+                    ngl_runtime::faults::SplitMix64::new(seed ^ (w as u64).wrapping_mul(0x9E37));
+                let mut client = Client::new(addr);
+                for r in 0..SERVE_REQUESTS {
+                    let body: String = (0..SERVE_LINES)
+                        .map(|l| {
+                            let id = (w * 1_000_000 + r * SERVE_LINES + l) as u64;
+                            format!("{}\n", serve_burst_tweet(&mut rng, id))
+                        })
+                        .collect();
+                    let (status, body) = client.ingest(&body).expect("ingest");
+                    assert_eq!(status, 200, "bench burst must not shed: {body}");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("bench writer");
+    }
+    let elapsed_s = t.elapsed().as_secs_f64();
+
+    let stats = server.stats();
+    let (p50_us, p99_us) = stats.ack_latency_percentiles_us();
+    let accepted = stats.accepted.load(std::sync::atomic::Ordering::Relaxed);
+    let tweets = (SERVE_WRITERS * SERVE_REQUESTS * SERVE_LINES) as u64;
+    assert_eq!(accepted, tweets, "every bench tweet must be acked");
+    let batches = stats.batches.load(std::sync::atomic::Ordering::Relaxed);
+    let max_batch = stats.max_batch.load(std::sync::atomic::Ordering::Relaxed);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    ServeSide { elapsed_s, p50_us, p99_us, batches, max_batch }
+}
+
+/// Runs the Zipfian burst against a 1-shard and a `shards`-shard server
+/// and reports throughput + ack-latency rows.
+pub fn shard_bench(shards: u32) -> ShardBenchResult {
+    let tweets = SERVE_WRITERS * SERVE_REQUESTS * SERVE_LINES;
+    let single = shard_side(1, 0x5E47E);
+    let sharded = shard_side(shards, 0x5E47E);
+    let single_rps = tweets as f64 / single.elapsed_s.max(f64::MIN_POSITIVE);
+    let sharded_rps = tweets as f64 / sharded.elapsed_s.max(f64::MIN_POSITIVE);
+    ShardBenchResult {
+        writers: SERVE_WRITERS,
+        requests: SERVE_REQUESTS,
+        lines: SERVE_LINES,
+        tweets,
+        shards,
+        single_s: single.elapsed_s,
+        single_rps,
+        single_p50_us: single.p50_us,
+        single_p99_us: single.p99_us,
+        sharded_s: sharded.elapsed_s,
+        sharded_rps,
+        sharded_p50_us: sharded.p50_us,
+        sharded_p99_us: sharded.p99_us,
+        shard_speedup: sharded_rps / single_rps.max(f64::MIN_POSITIVE),
+        parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Renders the [`shard_bench`] comparison as a two-row table.
+pub fn shard_table(r: &ShardBenchResult) -> String {
+    let rows = vec![
+        vec![
+            format!("shards_{}", r.shards),
+            format!("{} tweets, {} shards", r.tweets, r.shards),
+            format!("{:.0} tw/s", r.sharded_rps),
+            format!("{} us", r.sharded_p50_us),
+            format!("{} us", r.sharded_p99_us),
+            format!("{:.2}x", r.shard_speedup),
+        ],
+        vec![
+            "shards_1".to_string(),
+            format!("{} tweets, 1 shard", r.tweets),
+            format!("{:.0} tw/s", r.single_rps),
+            format!("{} us", r.single_p50_us),
+            format!("{} us", r.single_p99_us),
+            "1.00x".to_string(),
+        ],
+    ];
+    render_table(
+        &format!(
+            "Sharded serving: Zipfian burst, {} writers x {} reqs x {} lines \
+             (host parallelism {})",
+            r.writers, r.requests, r.lines, r.parallelism
+        ),
+        &["Bench", "Workload", "Throughput", "p50 ack", "p99 ack", "Speedup"],
+        &rows,
+    )
+}

@@ -6,11 +6,11 @@
 //! ngl train    --train train.conll --d5 d5.conll --out model.nglb \
 //!              [--dim 32] [--epochs 8]
 //! ngl tag      --model model.nglb [--input tweets.txt] [--conll] \
-//!              [--store-dir DIR] [--checkpoint-every N]
-//! ngl recover  --model model.nglb --store-dir DIR [--checkpoint-every N]
+//!              [--store-dir DIR] [--checkpoint-every N] [--shards N]
+//! ngl recover  --model model.nglb --store-dir DIR [--checkpoint-every N] [--shards N]
 //! ngl serve    --model model.nglb --store-dir DIR [--addr HOST:PORT] \
 //!              [--max-batch N] [--max-delay-ms N] [--queue-cap N] \
-//!              [--finalize-every N] [--checkpoint-every N]
+//!              [--finalize-every N] [--checkpoint-every N] [--shards N]
 //! ngl eval     --gold gold.conll --pred pred.conll
 //! ```
 //!
@@ -36,7 +36,8 @@ use std::process::ExitCode;
 
 use ngl_core::{
     model_fingerprint, train_globalizer, DegradationMode, DurableGlobalizer, GlobalizerBundle,
-    GlobalizerConfig, GlobalizerTrainingConfig, NerGlobalizer, PoolPolicy,
+    GlobalizerConfig, GlobalizerTrainingConfig, NerGlobalizer, PoolPolicy, RecoveryReport,
+    SharedPageCache, ShardedGlobalizer,
 };
 use ngl_corpus::{profiles, Dataset, KnowledgeBase};
 use ngl_encoder::{train_encoder, EncoderConfig, TokenEncoder, TrainConfig};
@@ -70,10 +71,12 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   ngl generate --profile <d1|d2|d3|d4|d5|wnut17|btc|local-train> [--seed N] [--out file.conll]
   ngl train    --train train.conll --d5 d5.conll --out model.nglb [--dim 32] [--epochs 8]
-  ngl tag      --model model.nglb [--input tweets.txt] [--conll] [--store-dir DIR] [--checkpoint-every N]
-  ngl recover  --model model.nglb --store-dir DIR [--checkpoint-every N]
+  ngl tag      --model model.nglb [--input tweets.txt] [--conll] [--store-dir DIR]
+               [--checkpoint-every N] [--shards N]
+  ngl recover  --model model.nglb --store-dir DIR [--checkpoint-every N] [--shards N]
   ngl serve    --model model.nglb --store-dir DIR [--addr HOST:PORT] [--max-batch N]
                [--max-delay-ms N] [--queue-cap N] [--finalize-every N] [--checkpoint-every N]
+               [--shards N]
   ngl eval     --gold gold.conll --pred pred.conll";
 
 /// Parses `--key value` pairs plus bare `--flag` switches.
@@ -214,6 +217,17 @@ fn model_file_fingerprint(path: &str) -> Result<u64, String> {
     Ok(model_fingerprint(&bytes))
 }
 
+/// `--shards N` (default 1). The count is pinned by the store's
+/// `shards.meta` on first open; reopening with a different value fails
+/// fast with a typed `ShardLayoutMismatch`.
+fn parse_shards(flags: &HashMap<String, String>) -> Result<u32, String> {
+    let shards: u32 = parse_num(flags, "shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    Ok(shards)
+}
+
 fn cmd_tag(flags: &HashMap<String, String>) -> Result<(), String> {
     let model = required(flags, "model")?;
     let bundle = GlobalizerBundle::load(model).map_err(|e| e.to_string())?;
@@ -236,13 +250,57 @@ fn cmd_tag(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err("no input tweets".to_string());
     }
 
+    let shards = parse_shards(flags)?;
     let pipeline = NerGlobalizer::new(
         bundle.encoder,
         bundle.phrase,
         bundle.classifier,
-        GlobalizerConfig::default(),
+        // Sharded runs fan out over one process-wide pool so N shards
+        // never oversubscribe cores; a 1-shard run keeps its own.
+        GlobalizerConfig {
+            pool: if shards > 1 { PoolPolicy::Shared } else { PoolPolicy::PerPipeline },
+            ..Default::default()
+        },
     );
+    if shards > 1 && !flags.contains_key("store-dir") {
+        return Err("--shards requires --store-dir (sharding partitions the durable store)".into());
+    }
     let (spans, n_surfaces, wedged) = match flags.get("store-dir") {
+        Some(dir) if shards > 1 => {
+            let every: usize = parse_num(flags, "checkpoint-every", 8)?;
+            let fp = model_file_fingerprint(model)?;
+            let (mut sharded, report) =
+                ShardedGlobalizer::open_with_fingerprint(pipeline, dir, every, shards, Some(fp))
+                    .map_err(|e| e.to_string())?;
+            let resumed = report
+                .shards
+                .iter()
+                .any(|r| r.replayed_batches > 0 || r.snapshot_seq.is_some());
+            if resumed {
+                eprintln!(
+                    "resumed {shards}-shard store {dir}: digest {:016x}",
+                    report.combined_digest
+                );
+            }
+            sharded.process_batch(tweets.clone()).map_err(|e| e.to_string())?;
+            let all = sharded.finalize().map_err(|e| e.to_string())?;
+            for (i, health) in sharded.degradations().iter().enumerate() {
+                if health.is_degraded() {
+                    eprintln!(
+                        "warning: shard {i} degraded ({}): {} wal commit failures, \
+                         {} snapshot failures, {} spill pins, {} spill losses",
+                        health.mode(),
+                        health.wal_commit_failures,
+                        health.snapshot_failures,
+                        health.spill_pins,
+                        health.spill_losses
+                    );
+                }
+            }
+            let skip = all.len().saturating_sub(tweets.len());
+            let wedged = sharded.admission_mode() == DegradationMode::ReadOnly;
+            (all[skip..].to_vec(), sharded.merged().n_surfaces(), wedged)
+        }
         Some(dir) => {
             let every: usize = parse_num(flags, "checkpoint-every", 8)?;
             let fp = model_file_fingerprint(model)?;
@@ -312,22 +370,8 @@ fn cmd_tag(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_recover(flags: &HashMap<String, String>) -> Result<(), String> {
-    let model = required(flags, "model")?;
-    let dir = required(flags, "store-dir")?;
-    let every: usize = parse_num(flags, "checkpoint-every", 8)?;
-    let bundle = GlobalizerBundle::load(model).map_err(|e| e.to_string())?;
-    let pipeline = NerGlobalizer::new(
-        bundle.encoder,
-        bundle.phrase,
-        bundle.classifier,
-        GlobalizerConfig::default(),
-    );
-    let fp = model_file_fingerprint(model)?;
-    let (durable, report) =
-        DurableGlobalizer::open_with_fingerprint(pipeline, dir, every, Some(fp))
-            .map_err(|e| e.to_string())?;
-    println!("store:              {dir}");
+/// One recovery section (the whole store, or one shard of it).
+fn print_recovery_section(report: &RecoveryReport) {
     println!(
         "snapshot:           {}",
         match report.snapshot_seq {
@@ -345,6 +389,66 @@ fn cmd_recover(flags: &HashMap<String, String>) -> Result<(), String> {
         report.surfaces, report.resident_surfaces
     );
     println!("state digest:       {:016x}", report.digest);
+    if report.unverified_finalizes > 0 {
+        println!(
+            "unverified marks:   {} (writer degraded under spill faults; \
+             replay is the fault-free reconstruction of its inputs)",
+            report.unverified_finalizes
+        );
+    }
+}
+
+fn cmd_recover(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model = required(flags, "model")?;
+    let dir = required(flags, "store-dir")?;
+    let every: usize = parse_num(flags, "checkpoint-every", 8)?;
+    let shards = parse_shards(flags)?;
+    let bundle = GlobalizerBundle::load(model).map_err(|e| e.to_string())?;
+    let pipeline = NerGlobalizer::new(
+        bundle.encoder,
+        bundle.phrase,
+        bundle.classifier,
+        GlobalizerConfig {
+            pool: if shards > 1 { PoolPolicy::Shared } else { PoolPolicy::PerPipeline },
+            ..Default::default()
+        },
+    );
+    let fp = model_file_fingerprint(model)?;
+    if shards > 1 {
+        let (sharded, report) =
+            ShardedGlobalizer::open_with_fingerprint(pipeline, dir, every, shards, Some(fp))
+                .map_err(|e| e.to_string())?;
+        println!("store:              {dir} ({shards} shards)");
+        for (i, shard_report) in report.shards.iter().enumerate() {
+            println!("--- shard {i:02} ---");
+            print_recovery_section(shard_report);
+            if report.caught_up_ops[i] > 0 {
+                println!(
+                    "caught up:          {} ops from the most advanced shard's WAL",
+                    report.caught_up_ops[i]
+                );
+            }
+            let health = sharded.degradations()[i].mode();
+            println!("storage health:     {health}");
+        }
+        println!("--- combined ---");
+        println!("combined digest:    {:016x}", report.combined_digest);
+        println!(
+            "merged surfaces:    {} ({} tweets, watermark {})",
+            sharded.merged().n_surfaces(),
+            sharded.merged().tweet_base().len(),
+            sharded.merged().scan_watermark()
+        );
+        let (hits, misses) = SharedPageCache::global().stats();
+        println!("shared page cache:  {hits} hits / {misses} misses (process-wide)");
+        drop(sharded); // recovery only: nothing new is logged
+        return Ok(());
+    }
+    let (durable, report) =
+        DurableGlobalizer::open_with_fingerprint(pipeline, dir, every, Some(fp))
+            .map_err(|e| e.to_string())?;
+    println!("store:              {dir}");
+    print_recovery_section(&report);
     let (q_bytes, f_bytes) = durable.inner().snapshot_codec_bytes();
     let pct = if f_bytes > 0 { 100.0 * q_bytes as f64 / f_bytes as f64 } else { 100.0 };
     println!("snapshot bytes:     {q_bytes} quantized vs {f_bytes} f32 ({pct:.1}%)");
@@ -354,15 +458,10 @@ fn cmd_recover(flags: &HashMap<String, String>) -> Result<(), String> {
             pool.live_bytes(),
             pool.file_bytes()
         );
+        // The page cache is process-shared (one byte budget across
+        // every spill file); these are the shared totals.
         let (hits, misses) = pool.page_cache_stats();
-        println!("spill page cache:   {hits} hits / {misses} misses");
-    }
-    if report.unverified_finalizes > 0 {
-        println!(
-            "unverified marks:   {} (writer degraded under spill faults; \
-             replay is the fault-free reconstruction of its inputs)",
-            report.unverified_finalizes
-        );
+        println!("shared page cache:  {hits} hits / {misses} misses (process-wide)");
     }
     let health = durable.degradation();
     let io = durable.io_stats();
@@ -390,17 +489,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         GlobalizerConfig { pool: PoolPolicy::Shared, ..Default::default() },
     );
     let fp = model_file_fingerprint(model)?;
-    let (durable, report) =
-        DurableGlobalizer::open_with_fingerprint(pipeline, dir, every, Some(fp))
-            .map_err(|e| e.to_string())?;
-    if report.replayed_batches > 0 || report.snapshot_seq.is_some() {
-        eprintln!(
-            "resumed store {dir}: {} tweets, watermark {}{}",
-            report.tweets,
-            report.watermark,
-            if report.torn_tail { " (torn tail discarded)" } else { "" }
-        );
-    }
+    let shards = parse_shards(flags)?;
     let cfg = ngl_serve::ServeConfig {
         addr: flags
             .get("addr")
@@ -413,7 +502,35 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         ack_timeout_ms: parse_num(flags, "ack-timeout-ms", 10_000)?,
         pressure_shed_milli: parse_num(flags, "pressure-shed-milli", 2000)?,
     };
-    let server = ngl_serve::Server::start(durable, report, cfg).map_err(|e| e.to_string())?;
+    let server = if shards > 1 {
+        let (sharded, report) =
+            ShardedGlobalizer::open_with_fingerprint(pipeline, dir, every, shards, Some(fp))
+                .map_err(|e| e.to_string())?;
+        let resumed = report
+            .shards
+            .iter()
+            .any(|r| r.replayed_batches > 0 || r.snapshot_seq.is_some());
+        if resumed {
+            eprintln!(
+                "resumed {shards}-shard store {dir}: digest {:016x}",
+                report.combined_digest
+            );
+        }
+        ngl_serve::Server::start_sharded(sharded, report, cfg).map_err(|e| e.to_string())?
+    } else {
+        let (durable, report) =
+            DurableGlobalizer::open_with_fingerprint(pipeline, dir, every, Some(fp))
+                .map_err(|e| e.to_string())?;
+        if report.replayed_batches > 0 || report.snapshot_seq.is_some() {
+            eprintln!(
+                "resumed store {dir}: {} tweets, watermark {}{}",
+                report.tweets,
+                report.watermark,
+                if report.torn_tail { " (torn tail discarded)" } else { "" }
+            );
+        }
+        ngl_serve::Server::start(durable, report, cfg).map_err(|e| e.to_string())?
+    };
     println!("LISTENING {}", server.addr());
     use std::io::Write as _;
     std::io::stdout().flush().map_err(|e| e.to_string())?;

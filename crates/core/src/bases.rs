@@ -167,6 +167,16 @@ impl CandidateBase {
         entry.mentions.len() - 1
     }
 
+    /// Advances the touch clock for a mention admitted *elsewhere* (a
+    /// shard-ownership filter skipping a non-owned surface). Keeps the
+    /// stamp sequence of a sharded pipeline identical to the unsharded
+    /// one: every scan-ordered mention consumes exactly one tick
+    /// whether or not this base stores it, so the `touched` values of
+    /// the entries it *does* own match the 1-shard run bit for bit.
+    pub(crate) fn touch_skip(&mut self) {
+        self.clock += 1;
+    }
+
     /// The entry of a surface, if known.
     pub fn get(&self, surface: &str) -> Option<&SurfaceEntry> {
         self.surfaces.get(surface)

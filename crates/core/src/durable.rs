@@ -54,7 +54,8 @@ use bytes::{Bytes, BytesMut};
 use ngl_encoder::ContextualTagger;
 use ngl_nn::codec::{get_quantized_f32_vec, get_u64, put_quantized_f32_slice, put_u64, CodecError};
 use ngl_store::{
-    IoHandle, IoStatsSnapshot, SnapshotStore, SpillFile, StoreError, Wal, DEFAULT_SEGMENT_BYTES,
+    IoHandle, IoStatsSnapshot, SharedPageCache, SnapshotStore, SpillFile, StoreError, Wal,
+    DEFAULT_SEGMENT_BYTES,
 };
 
 use crate::bases::SurfaceEntry;
@@ -68,9 +69,9 @@ use ngl_text::Span;
 /// embedding.
 type CacheEntry = ((usize, usize, usize), Vec<f32>);
 
-/// Env var overriding the spill file's read-side page-cache budget in
-/// bytes (`0` disables the cache).
-pub const SPILL_CACHE_ENV: &str = "NGL_SPILL_CACHE_BYTES";
+/// Env var overriding the byte budget of the process-shared spill
+/// page cache (`0` disables the cache; read once, at first use).
+pub use ngl_store::SPILL_CACHE_ENV;
 
 // ---- spill pool --------------------------------------------------------
 
@@ -101,20 +102,18 @@ impl SpillPool {
     }
 
     /// [`Self::create`] over an explicit IO layer (chaos tests inject
-    /// faults here).
+    /// faults here). Reads go through the **process-shared** page
+    /// cache ([`SharedPageCache::global`]): every durable spill pool
+    /// in the process — one per shard under a sharded store —
+    /// arbitrates one `NGL_SPILL_CACHE_BYTES` budget with stamp-LRU
+    /// recency instead of owning a private cache each.
     pub fn create_with_io<P: AsRef<Path>>(path: P, io: IoHandle) -> Result<Self, StoreError> {
-        let mut file = SpillFile::open_with_io(path, io)?;
-        // Read-side page-cache budget: `NGL_SPILL_CACHE_BYTES=0`
-        // disables caching, unset keeps the ngl-store default.
-        if let Ok(raw) = std::env::var(SPILL_CACHE_ENV) {
-            if let Ok(bytes) = raw.trim().parse::<usize>() {
-                file.set_page_cache_budget(bytes);
-            }
-        }
+        let file = SpillFile::open_with_cache(path, io, SharedPageCache::global())?;
         Ok(Self { file, index: BTreeMap::new(), spill_log: Vec::new() })
     }
 
-    /// `(hits, misses)` of the spill file's read-side page cache.
+    /// `(hits, misses)` of the shared spill page cache —
+    /// process-wide totals, not per-file counts.
     pub fn page_cache_stats(&self) -> (u64, u64) {
         self.file.page_cache_stats()
     }
@@ -286,7 +285,7 @@ pub(crate) enum WalRecord {
 }
 
 impl WalRecord {
-    fn op_seq(&self) -> u64 {
+    pub(crate) fn op_seq(&self) -> u64 {
         match *self {
             WalRecord::Batch { op_seq, .. }
             | WalRecord::Finalize { op_seq, .. }
@@ -449,6 +448,11 @@ pub enum DurableError {
     /// replay work — wrong models would otherwise only surface as a
     /// digest mismatch at the first replayed finalize.
     ModelMismatch { stored: u64, current: u64 },
+    /// The store root was written with a different shard count than
+    /// the one now opening it. Raised *before* any shard opens —
+    /// opening a 4-shard store as 2 shards would otherwise silently
+    /// replay a subset of the lineages (wrong ownership everywhere).
+    ShardLayoutMismatch { stored: u32, requested: u32 },
     /// The log's structure is inconsistent (e.g. a finalize mark with
     /// no preceding state, an eviction record contradicting replay).
     Corrupt(&'static str),
@@ -470,6 +474,12 @@ impl std::fmt::Display for DurableError {
                 "model fingerprint mismatch: store was written with \
                  {stored:#018x}, current bundle is {current:#018x} — \
                  recover with the original models or start a fresh store"
+            ),
+            DurableError::ShardLayoutMismatch { stored, requested } => write!(
+                f,
+                "shard layout mismatch: store was written with {stored} \
+                 shard(s), reopen requested {requested} — reopen with the \
+                 original shard count or start a fresh store"
             ),
             DurableError::Corrupt(what) => write!(f, "corrupt durable log: {what}"),
         }
@@ -500,7 +510,7 @@ impl From<PersistError> for DurableError {
 
 /// File next to the WAL/snapshots binding the store to a model bundle:
 /// `magic "NGLM" | version u32 LE | fingerprint u64 LE`.
-const MODEL_META_FILE: &str = "model.meta";
+pub(crate) const MODEL_META_FILE: &str = "model.meta";
 const MODEL_META_MAGIC: &[u8; 4] = b"NGLM";
 const MODEL_META_VERSION: u32 = 1;
 
@@ -512,7 +522,7 @@ pub fn model_fingerprint(bundle_bytes: &[u8]) -> u64 {
     ngl_store::fnv1a64(bundle_bytes)
 }
 
-fn read_model_meta(path: &Path) -> Result<Option<u64>, DurableError> {
+pub(crate) fn read_model_meta(path: &Path) -> Result<Option<u64>, DurableError> {
     let bytes = match std::fs::read(path) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -531,7 +541,7 @@ fn read_model_meta(path: &Path) -> Result<Option<u64>, DurableError> {
     Ok(Some(u64::from_le_bytes(fp)))
 }
 
-fn write_model_meta(path: &Path, fingerprint: u64) -> Result<(), DurableError> {
+pub(crate) fn write_model_meta(path: &Path, fingerprint: u64) -> Result<(), DurableError> {
     let mut bytes = Vec::with_capacity(16);
     bytes.extend_from_slice(MODEL_META_MAGIC);
     bytes.extend_from_slice(&MODEL_META_VERSION.to_le_bytes());
@@ -643,7 +653,9 @@ pub struct DegradationEvent {
 }
 
 /// Overall storage health, derived from a [`DegradationReport`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Ordered by severity (declaration order), so a sharded store's
+/// aggregate health is `max` over its shards' modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum DegradationMode {
     /// No storage faults observed (absorbed transient retries are
     /// still healthy).
@@ -1317,6 +1329,13 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
         self.pool.as_ref()
     }
 
+    /// Mutable pool access for the cross-shard merge: peeking a
+    /// spilled entry reads through the page cache, which needs `&mut`.
+    /// The merge only *reads* entries; it never spills or rehydrates.
+    pub(crate) fn spill_pool_mut(&mut self) -> Option<&mut SpillPool> {
+        self.pool.as_mut()
+    }
+
     /// The store directory.
     pub fn store_dir(&self) -> &Path {
         &self.dir
@@ -1355,6 +1374,19 @@ impl<T: ContextualTagger + Sync> DurableGlobalizer<T> {
     /// [`Self::finalize`]; until then they are unacknowledged.
     pub fn has_pending_finalize(&self) -> bool {
         self.pending_finalize.is_some()
+    }
+
+    /// Decodes this store's live WAL records (checksum-valid prefix of
+    /// the surviving segments), for shard catch-up replication: a
+    /// lagging shard replays a donor shard's `Batch`/`Finalize` ops
+    /// beyond its own `op_seq` through its normal durable path.
+    pub(crate) fn logged_records(&self) -> Result<Vec<WalRecord>, DurableError> {
+        let replay = self.wal.replay()?;
+        let mut records = Vec::with_capacity(replay.records.len());
+        for raw in &replay.records {
+            records.push(WalRecord::decode(raw.tag, &raw.payload)?);
+        }
+        Ok(records)
     }
 }
 

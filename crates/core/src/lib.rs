@@ -39,6 +39,7 @@ pub mod persist;
 pub mod phrase;
 pub mod pipeline;
 pub mod pooling;
+pub mod shard;
 pub mod train;
 
 pub use bases::{CandidateBase, CandidateCluster, MentionRecord, SurfaceEntry, TweetBase};
@@ -49,6 +50,7 @@ pub use durable::{
     DurableError, DurableGlobalizer, RecoveryReport, SpillPool, StoreStats,
     MAX_DEGRADATION_EVENTS, SPILL_CACHE_ENV,
 };
+pub use ngl_store::{IoStatsSnapshot, SharedPageCache};
 pub use persist::{GlobalizerBundle, PersistError};
 pub use phrase::{PhraseEmbedder, PhraseEmbedderConfig, PhraseLoss};
 pub use pipeline::{
@@ -56,4 +58,5 @@ pub use pipeline::{
     PoolPolicy, QueryTag, RetentionPolicy, StageTimings, SurfaceSummary,
 };
 pub use pooling::AttentivePooling;
+pub use shard::{shard_of_surface, ShardedGlobalizer, ShardedRecoveryReport};
 pub use train::{train_globalizer, GlobalizerTrainingConfig, GlobalizerTrainingReport};

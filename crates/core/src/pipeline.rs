@@ -349,6 +349,13 @@ pub struct NerGlobalizer<T: ContextualTagger> {
     /// [`ContextualTagger::encode`]; empty outside replay. Transient —
     /// never checkpointed.
     replay_memo: HashMap<Vec<String>, ngl_encoder::SentenceEncoding>,
+    /// Shard-ownership filter `(index, count)`: when set, the candidate
+    /// base only admits surfaces with
+    /// `fnv1a64(surface) % count == index`; non-owned scan results
+    /// still advance the touch clock (see [`CandidateBase`]) so owned
+    /// entries carry the same stamps as an unfiltered run. Runtime
+    /// wiring like `exec` — never serialized, survives state import.
+    shard_filter: Option<(u32, u32)>,
 }
 
 impl<T: ContextualTagger + Clone> Clone for NerGlobalizer<T> {
@@ -371,6 +378,7 @@ impl<T: ContextualTagger + Clone> Clone for NerGlobalizer<T> {
             spill_pins: self.spill_pins,
             spill_losses: self.spill_losses,
             replay_memo: self.replay_memo.clone(),
+            shard_filter: self.shard_filter,
         }
     }
 }
@@ -410,6 +418,7 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
             spill_pins: 0,
             spill_losses: 0,
             replay_memo: HashMap::new(),
+            shard_filter: None,
         }
     }
 
@@ -424,6 +433,41 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
     /// The executor driving the parallel stages.
     pub fn executor(&self) -> &Executor {
         &self.exec
+    }
+
+    /// Restricts the candidate base to shard `index` of `count`: only
+    /// surfaces with `shard_of_surface(surface, count) == index` are
+    /// admitted (see [`crate::shard::shard_of_surface`]); every other
+    /// scan result just advances the touch clock. Runtime wiring, not
+    /// checkpointed state — it survives [`Self::import_state`] and must
+    /// be set *before* replay so filtered digests reproduce.
+    ///
+    /// # Panics
+    /// Panics when `index >= count` or `count == 0` — a
+    /// misconfigured filter would silently drop every mention.
+    pub fn set_shard_ownership(&mut self, index: u32, count: u32) {
+        assert!(count > 0 && index < count, "shard index {index} out of range for {count} shards");
+        self.shard_filter = Some((index, count));
+    }
+
+    /// Removes the shard-ownership filter (the merged pipeline admits
+    /// everything).
+    pub fn clear_shard_ownership(&mut self) {
+        self.shard_filter = None;
+    }
+
+    /// The active shard-ownership filter `(index, count)`, if any.
+    pub fn shard_ownership(&self) -> Option<(u32, u32)> {
+        self.shard_filter
+    }
+
+    /// Whether this pipeline's candidate base stores `surface` under
+    /// the active ownership filter (always true when unfiltered).
+    fn owns_surface(&self, surface: &str) -> bool {
+        match self.shard_filter {
+            Some((index, count)) => crate::shard::shard_of_surface(surface, count) == index,
+            None => true,
+        }
     }
 
     /// The Local NER stage over one batch of tokenized tweets: tags each
@@ -739,6 +783,55 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
         out
     }
 
+    /// Absorbs another shard's owned state into this (merged)
+    /// pipeline: candidate entries are disjoint by surface ownership,
+    /// so the union reconstructs the unsharded candidate base; the
+    /// mention caches are keyed by `(tweet, start, end)` — each span
+    /// resolves to exactly one surface, hence one owner — so their
+    /// union is disjoint too. The shared state (CTrie, tweets,
+    /// seen-ids, watermarks) is identical on every shard by the
+    /// replicated-ingest invariant and is left untouched.
+    pub(crate) fn absorb_owned_state(&mut self, shard: &Self) {
+        for (surface, entry) in shard.candidates.iter() {
+            self.candidates.insert_entry(surface.clone(), entry.clone());
+        }
+        for (k, v) in &shard.mention_cache {
+            self.mention_cache.entry(*k).or_insert_with(|| v.clone());
+        }
+    }
+
+    /// Absorbs one entry a shard had spilled to its cold pool, so the
+    /// merged view emits and answers queries over spilled surfaces
+    /// too (a per-shard pool only holds that shard's owned surfaces,
+    /// so these inserts are disjoint from every resident absorb).
+    pub(crate) fn absorb_spilled_entry(&mut self, surface: String, entry: SurfaceEntry) {
+        self.candidates.insert_entry(surface, entry);
+    }
+
+    /// Re-emits the final NER output from already-finalized state
+    /// without running any stage — the cross-shard merge path. Every
+    /// entry in the (merged) candidate base is already clustered and
+    /// classified by its owner shard, so this reproduces exactly what
+    /// [`Self::finalize`] would have emitted from the same state.
+    pub(crate) fn emit_finalized(&mut self) -> Vec<Vec<Span>> {
+        match self.cfg.ablation {
+            AblationMode::LocalOnly => (0..self.tweets.len())
+                .map(|i| {
+                    self.tweets
+                        .try_get(i)
+                        .map(|t| t.local_spans.clone())
+                        .unwrap_or_default()
+                })
+                .collect(),
+            mode => {
+                let mut errors = Vec::new();
+                let out = self.emit(mode, None, &mut errors);
+                self.finalize_errors.append(&mut errors);
+                out
+            }
+        }
+    }
+
     /// Evicts the oldest tweets (and their cache entries) until the
     /// configured [`RetentionPolicy`] is satisfied. Invariant: eviction
     /// never crosses the scan watermark — a tweet that the incremental
@@ -1035,6 +1128,13 @@ impl<T: ContextualTagger> NerGlobalizer<T> {
                 match result {
                     Ok(tweet_mentions) => {
                         for (surface, record) in tweet_mentions {
+                            if !self.owns_surface(&surface) {
+                                // Another shard stores this mention;
+                                // consume its clock tick so owned
+                                // entries keep the unsharded stamps.
+                                self.candidates.touch_skip();
+                                continue;
+                            }
                             if let Some(pool) = pool.as_deref_mut() {
                                 if pool.contains(&surface) {
                                     match pool.take(&surface) {

@@ -19,11 +19,126 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
-use ngl_core::{DegradationMode, DurableGlobalizer, NerGlobalizer, RetentionPolicy};
+use ngl_core::{
+    BatchOutput, BatchReport, DegradationMode, DurableError, DurableGlobalizer, NerGlobalizer,
+    RetentionPolicy, ShardedGlobalizer, SpillPool,
+};
+use ngl_core::IoStatsSnapshot;
 use ngl_encoder::ContextualTagger;
 
 use crate::stats::{add, raise, ServeStats};
 use crate::ServeConfig;
+
+/// The durable store behind the engine: one lineage, or N
+/// hash-partitioned shards behind the same batching/ack/finalize loop.
+/// The sharded variant publishes its *merged* view as the query
+/// snapshot (surface ownership partitions storage and clustering, not
+/// the query surface), gates admission on the *best* shard's
+/// degradation rung — one read-only shard must not block the others —
+/// and reports the *worst* rung for monitoring.
+pub(crate) enum EngineStore<T: ContextualTagger> {
+    Single(Box<DurableGlobalizer<T>>),
+    Sharded(Box<ShardedGlobalizer<T>>),
+}
+
+impl<T: ContextualTagger + Clone + Send + Sync> EngineStore<T> {
+    pub(crate) fn process_batch_with_ids(
+        &mut self,
+        batch: Vec<(u64, Vec<String>)>,
+    ) -> Result<(BatchOutput, BatchReport), DurableError> {
+        match self {
+            EngineStore::Single(s) => s.process_batch_with_ids(batch),
+            EngineStore::Sharded(s) => s.process_batch_with_ids(batch),
+        }
+    }
+
+    pub(crate) fn finalize(&mut self) -> Result<(), DurableError> {
+        match self {
+            EngineStore::Single(s) => s.finalize().map(|_| ()),
+            EngineStore::Sharded(s) => s.finalize().map(|_| ()),
+        }
+    }
+
+    /// The pipeline queries and snapshots are served from: the inner
+    /// pipeline (single) or the merged cross-shard view (sharded).
+    pub(crate) fn query_view(&self) -> &NerGlobalizer<T> {
+        match self {
+            EngineStore::Single(s) => s.inner(),
+            EngineStore::Sharded(s) => s.merged(),
+        }
+    }
+
+    /// The admission rung: the store's own mode (single) or the best
+    /// shard's (sharded).
+    pub(crate) fn admission_mode(&self) -> DegradationMode {
+        match self {
+            EngineStore::Single(s) => s.degradation().mode(),
+            EngineStore::Sharded(s) => s.admission_mode(),
+        }
+    }
+
+    /// The monitoring rung: same as admission for a single store, the
+    /// worst shard's for a sharded one.
+    pub(crate) fn worst_mode(&self) -> DegradationMode {
+        match self {
+            EngineStore::Single(s) => s.degradation().mode(),
+            EngineStore::Sharded(s) => s.worst_mode(),
+        }
+    }
+
+    /// Retention pressure: the sharded value is the worst shard's —
+    /// tweet-store pressure is identical everywhere (replicated
+    /// ingest), spill pressure is per-shard.
+    pub(crate) fn pressure_milli(&self) -> u64 {
+        match self {
+            EngineStore::Single(s) => retention_pressure_milli(s.inner()),
+            EngineStore::Sharded(s) => s
+                .shards()
+                .iter()
+                .map(|shard| retention_pressure_milli(shard.inner()))
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Spill-page-cache `(hits, misses)`: per-store when a single
+    /// lineage spills, process-wide shared-cache totals when sharded.
+    pub(crate) fn page_cache_stats(&self) -> Option<(u64, u64)> {
+        match self {
+            EngineStore::Single(s) => s.spill_pool().map(SpillPool::page_cache_stats),
+            EngineStore::Sharded(s) => Some(s.page_cache_stats()),
+        }
+    }
+
+    /// IO retry counters, summed across shards.
+    pub(crate) fn io_stats(&self) -> IoStatsSnapshot {
+        match self {
+            EngineStore::Single(s) => s.io_stats(),
+            EngineStore::Sharded(s) => {
+                let mut total = IoStatsSnapshot::default();
+                for io in s.shards().iter().map(DurableGlobalizer::io_stats) {
+                    total.transient_retries += io.transient_retries;
+                    total.retry_exhausted += io.retry_exhausted;
+                }
+                total
+            }
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ngl_core::StoreStats {
+        match self {
+            EngineStore::Single(s) => s.stats(),
+            EngineStore::Sharded(s) => s.stats(),
+        }
+    }
+
+    pub(crate) fn shard_count(&self) -> u32 {
+        match self {
+            EngineStore::Single(_) => 1,
+            EngineStore::Sharded(s) => s.shard_count(),
+        }
+    }
+}
 
 /// One queued tweet: payload plus the channel its ack goes back on.
 pub(crate) struct IngestItem {
@@ -65,8 +180,15 @@ pub struct Ack {
 /// State shared between the engine thread and connection handlers.
 pub(crate) struct Shared<T: ContextualTagger> {
     pub stats: ServeStats,
-    /// Last observed [`DegradationMode`], encoded via [`mode_to_u8`].
+    /// Last observed *admission* [`DegradationMode`], encoded via
+    /// [`mode_to_u8`] — the best shard's rung when sharded, so one
+    /// degraded shard never sheds ingest for the rest.
     pub mode: AtomicU8,
+    /// Worst-of aggregate across shards (equals `mode` for a single
+    /// store); monitoring only, never gates admission.
+    pub worst_mode: AtomicU8,
+    /// Number of store shards (1 = unsharded).
+    pub shard_count: u32,
     /// Retention fill ratio in permille (1000 = exactly at the
     /// configured cap); see [`retention_pressure_milli`].
     pub pressure_milli: AtomicU64,
@@ -121,54 +243,52 @@ pub(crate) fn retention_pressure_milli<T: ContextualTagger>(g: &NerGlobalizer<T>
 
 /// Mirrors store-side health and cache/IO counters into the shared
 /// stats so `/stats` serves them without touching the engine.
-pub(crate) fn refresh_store_view<T: ContextualTagger + Sync>(
+pub(crate) fn refresh_store_view<T: ContextualTagger + Clone + Send + Sync>(
     shared: &Shared<T>,
-    durable: &DurableGlobalizer<T>,
+    store: &EngineStore<T>,
 ) {
     let stats = &shared.stats;
-    shared.mode.store(mode_to_u8(durable.degradation().mode()), Ordering::Relaxed);
-    shared
-        .pressure_milli
-        .store(retention_pressure_milli(durable.inner()), Ordering::Relaxed);
-    if let Some(pool) = durable.spill_pool() {
-        let (hits, misses) = pool.page_cache_stats();
+    shared.mode.store(mode_to_u8(store.admission_mode()), Ordering::Relaxed);
+    shared.worst_mode.store(mode_to_u8(store.worst_mode()), Ordering::Relaxed);
+    shared.pressure_milli.store(store.pressure_milli(), Ordering::Relaxed);
+    if let Some((hits, misses)) = store.page_cache_stats() {
         stats.spill_cache_hits.store(hits, Ordering::Relaxed);
         stats.spill_cache_misses.store(misses, Ordering::Relaxed);
     }
-    let io = durable.io_stats();
+    let io = store.io_stats();
     stats.io_transient_retries.store(io.transient_retries, Ordering::Relaxed);
     stats.io_retry_exhausted.store(io.retry_exhausted, Ordering::Relaxed);
-    let store = durable.stats();
-    stats.wal_bytes_total.store(store.wal_bytes_total, Ordering::Relaxed);
-    stats.snapshots.store(store.snapshots, Ordering::Relaxed);
+    let wire = store.stats();
+    stats.wal_bytes_total.store(wire.wal_bytes_total, Ordering::Relaxed);
+    stats.snapshots.store(wire.snapshots, Ordering::Relaxed);
 }
 
 /// Finalizes, publishes the post-finalize pipeline as the new query
 /// snapshot, and refreshes the mirrored store view.
-pub(crate) fn finalize_and_publish<T: ContextualTagger + Clone + Sync>(
+pub(crate) fn finalize_and_publish<T: ContextualTagger + Clone + Send + Sync>(
     shared: &Shared<T>,
-    durable: &mut DurableGlobalizer<T>,
+    store: &mut EngineStore<T>,
 ) {
-    match durable.finalize() {
-        Ok(_) => add(&shared.stats.finalizes, 1),
+    match store.finalize() {
+        Ok(()) => add(&shared.stats.finalizes, 1),
         Err(_) => add(&shared.stats.finalize_failures, 1),
     }
-    publish_snapshot(shared, durable);
+    publish_snapshot(shared, store);
 }
 
-/// Publishes the current pipeline state as the query snapshot.
-pub(crate) fn publish_snapshot<T: ContextualTagger + Clone + Sync>(
+/// Publishes the current query view as the query snapshot.
+pub(crate) fn publish_snapshot<T: ContextualTagger + Clone + Send + Sync>(
     shared: &Shared<T>,
-    durable: &DurableGlobalizer<T>,
+    store: &EngineStore<T>,
 ) {
-    let snap = Arc::new(durable.inner().clone());
+    let snap = Arc::new(store.query_view().clone());
     *shared.snapshot.write().unwrap_or_else(|e| e.into_inner()) = snap;
-    refresh_store_view(shared, durable);
+    refresh_store_view(shared, store);
 }
 
 /// The engine thread body: batch, commit, ack, finalize, publish.
-pub(crate) fn run<T: ContextualTagger + Clone + Sync>(
-    mut durable: DurableGlobalizer<T>,
+pub(crate) fn run<T: ContextualTagger + Clone + Send + Sync>(
+    mut durable: EngineStore<T>,
     rx: Receiver<IngestItem>,
     shared: Arc<Shared<T>>,
     cfg: ServeConfig,
@@ -223,9 +343,9 @@ pub(crate) fn run<T: ContextualTagger + Clone + Sync>(
     }
 }
 
-fn commit_batch<T: ContextualTagger + Sync>(
+fn commit_batch<T: ContextualTagger + Clone + Send + Sync>(
     shared: &Shared<T>,
-    durable: &mut DurableGlobalizer<T>,
+    durable: &mut EngineStore<T>,
     batch: Vec<IngestItem>,
 ) {
     let stats = &shared.stats;

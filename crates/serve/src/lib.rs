@@ -46,7 +46,10 @@ use std::sync::{Arc, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use ngl_core::{DurableGlobalizer, NerGlobalizer, QueryTag, RecoveryReport, SurfaceSummary};
+use ngl_core::{
+    DurableGlobalizer, NerGlobalizer, QueryTag, RecoveryReport, ShardedGlobalizer,
+    ShardedRecoveryReport, SurfaceSummary,
+};
 use ngl_encoder::ContextualTagger;
 use ngl_text::tokenize;
 
@@ -59,7 +62,7 @@ mod stats;
 pub use engine::{Ack, AckStatus};
 pub use stats::ServeStats;
 
-use engine::{mode_name, IngestItem, Shared};
+use engine::{mode_name, EngineStore, IngestItem, Shared};
 use http::{json_escape, respond, ReadOutcome};
 use stats::{add, get};
 
@@ -108,6 +111,15 @@ impl Default for ServeConfig {
     }
 }
 
+/// What `open()` replayed before serving started: one report for a
+/// single-lineage store, per-shard reports plus the combined digest
+/// for a sharded one.
+#[derive(Debug, Clone)]
+pub enum ServeRecovery {
+    Single(RecoveryReport),
+    Sharded(ShardedRecoveryReport),
+}
+
 /// A running serving instance. Dropping it without calling
 /// [`Self::shutdown`] leaves the background threads running until the
 /// process exits.
@@ -117,14 +129,14 @@ pub struct Server<T: ContextualTagger> {
     tx: SyncSender<IngestItem>,
     accept_handle: Option<thread::JoinHandle<()>>,
     engine_handle: Option<thread::JoinHandle<()>>,
-    recovery: Arc<RecoveryReport>,
+    recovery: Arc<ServeRecovery>,
 }
 
 /// Everything a connection handler needs, cloned per connection.
 struct HandlerCtx<T: ContextualTagger> {
     shared: Arc<Shared<T>>,
     tx: SyncSender<IngestItem>,
-    recovery: Arc<RecoveryReport>,
+    recovery: Arc<ServeRecovery>,
     auto_id: Arc<AtomicU64>,
     ack_timeout: Duration,
     pressure_shed_milli: u64,
@@ -155,8 +167,29 @@ impl<T: ContextualTagger + Clone + Send + Sync + 'static> Server<T> {
     /// first query snapshot (the recovered, finalized state) is
     /// published.
     pub fn start(
-        mut durable: DurableGlobalizer<T>,
+        durable: DurableGlobalizer<T>,
         recovery: RecoveryReport,
+        cfg: ServeConfig,
+    ) -> std::io::Result<Self> {
+        Self::start_store(EngineStore::Single(Box::new(durable)), ServeRecovery::Single(recovery), cfg)
+    }
+
+    /// [`Self::start`] over a hash-partitioned [`ShardedGlobalizer`]:
+    /// ingest fans out to every shard (replicated ingest, partitioned
+    /// ownership), queries and `/export` serve the merged cross-shard
+    /// view, admission gates on the best shard's rung and `/stats` /
+    /// `/health` surface the worst-of aggregate.
+    pub fn start_sharded(
+        sharded: ShardedGlobalizer<T>,
+        recovery: ShardedRecoveryReport,
+        cfg: ServeConfig,
+    ) -> std::io::Result<Self> {
+        Self::start_store(EngineStore::Sharded(Box::new(sharded)), ServeRecovery::Sharded(recovery), cfg)
+    }
+
+    fn start_store(
+        mut store: EngineStore<T>,
+        recovery: ServeRecovery,
         cfg: ServeConfig,
     ) -> std::io::Result<Self> {
         // Startup finalize: recovery replays committed batches, but the
@@ -165,12 +198,14 @@ impl<T: ContextualTagger + Clone + Send + Sync + 'static> Server<T> {
         // snapshot (and /digest) a function of the *acked batch
         // partition alone*, which is what the kill-under-load oracle
         // compares against. A no-op finalize doesn't change state.
-        let startup_finalize_ok = durable.finalize().is_ok();
+        let startup_finalize_ok = store.finalize().is_ok();
         let shared = Arc::new(Shared {
             stats: ServeStats::default(),
             mode: AtomicU8::new(0),
+            worst_mode: AtomicU8::new(0),
+            shard_count: store.shard_count(),
             pressure_milli: AtomicU64::new(0),
-            snapshot: RwLock::new(Arc::new(durable.inner().clone())),
+            snapshot: RwLock::new(Arc::new(store.query_view().clone())),
             shutdown: AtomicBool::new(false),
         });
         if startup_finalize_ok {
@@ -178,9 +213,9 @@ impl<T: ContextualTagger + Clone + Send + Sync + 'static> Server<T> {
         } else {
             add(&shared.stats.finalize_failures, 1);
         }
-        engine::refresh_store_view(&shared, &durable);
+        engine::refresh_store_view(&shared, &store);
         let auto_id =
-            Arc::new(AtomicU64::new(AUTO_ID_BASE + durable.inner().tweet_base().len() as u64));
+            Arc::new(AtomicU64::new(AUTO_ID_BASE + store.query_view().tweet_base().len() as u64));
 
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
@@ -191,7 +226,7 @@ impl<T: ContextualTagger + Clone + Send + Sync + 'static> Server<T> {
         let engine_cfg = cfg.clone();
         let engine_handle = thread::Builder::new()
             .name("ngl-serve-engine".to_string())
-            .spawn(move || engine::run(durable, rx, engine_shared, engine_cfg))?;
+            .spawn(move || engine::run(store, rx, engine_shared, engine_cfg))?;
 
         let ctx = HandlerCtx {
             shared: shared.clone(),
@@ -241,7 +276,7 @@ impl<T: ContextualTagger + Clone + Send + Sync + 'static> Server<T> {
     }
 
     /// What `open()` replayed before serving started.
-    pub fn recovery(&self) -> &RecoveryReport {
+    pub fn recovery(&self) -> &ServeRecovery {
         &self.recovery
     }
 
@@ -511,7 +546,7 @@ fn stats_json<T: ContextualTagger>(ctx: &HandlerCtx<T>) -> String {
             "\"finalizes\":{},\"finalize_failures\":{},",
             "\"queries_tag\":{},\"queries_surface\":{},\"bad_requests\":{},",
             "\"ack_p50_us\":{},\"ack_p99_us\":{},",
-            "\"mode\":\"{}\",\"pressure_milli\":{},",
+            "\"mode\":\"{}\",\"worst_mode\":\"{}\",\"shard_count\":{},\"pressure_milli\":{},",
             "\"spill_cache_hits\":{},\"spill_cache_misses\":{},",
             "\"io_transient_retries\":{},\"io_retry_exhausted\":{},",
             "\"wal_bytes_total\":{},\"snapshots\":{}}}"
@@ -535,6 +570,8 @@ fn stats_json<T: ContextualTagger>(ctx: &HandlerCtx<T>) -> String {
         p50,
         p99,
         mode_name(mode),
+        mode_name(ctx.shared.worst_mode.load(Ordering::Relaxed)),
+        ctx.shared.shard_count,
         ctx.shared.pressure_milli.load(Ordering::Relaxed),
         get(&s.spill_cache_hits),
         get(&s.spill_cache_misses),
@@ -547,14 +584,22 @@ fn stats_json<T: ContextualTagger>(ctx: &HandlerCtx<T>) -> String {
 
 fn health_json<T: ContextualTagger>(ctx: &HandlerCtx<T>) -> (u16, String) {
     let mode = ctx.shared.mode.load(Ordering::Relaxed);
+    let worst = ctx.shared.worst_mode.load(Ordering::Relaxed);
     let pressure = ctx.shared.pressure_milli.load(Ordering::Relaxed);
     let admitting = mode < engine::mode_to_u8(ngl_core::DegradationMode::WalOnly)
         && pressure < ctx.pressure_shed_milli;
     (
         200,
         format!(
-            "{{\"mode\":\"{}\",\"pressure_milli\":{pressure},\"admitting\":{admitting}}}",
-            mode_name(mode)
+            concat!(
+                "{{\"mode\":\"{}\",\"worst_mode\":\"{}\",\"shard_count\":{},",
+                "\"pressure_milli\":{},\"admitting\":{}}}"
+            ),
+            mode_name(mode),
+            mode_name(worst),
+            ctx.shared.shard_count,
+            pressure,
+            admitting
         ),
     )
 }
@@ -573,7 +618,35 @@ fn digest_json<T: ContextualTagger>(ctx: &HandlerCtx<T>) -> (u16, String) {
     )
 }
 
-fn recovery_json(r: &RecoveryReport) -> String {
+fn recovery_json(r: &ServeRecovery) -> String {
+    match r {
+        ServeRecovery::Single(report) => recovery_report_json(report),
+        ServeRecovery::Sharded(report) => {
+            let mut out = String::from("{\"shards\":[");
+            for (i, shard) in report.shards.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&recovery_report_json(shard));
+            }
+            out.push_str("],\"caught_up_ops\":[");
+            for (i, ops) in report.caught_up_ops.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&ops.to_string());
+            }
+            out.push_str(&format!(
+                "],\"shard_count\":{},\"combined_digest\":\"{}\"}}",
+                report.shards.len(),
+                report.combined_digest
+            ));
+            out
+        }
+    }
+}
+
+fn recovery_report_json(r: &RecoveryReport) -> String {
     let mut out = format!(
         concat!(
             "{{\"snapshot_seq\":{},\"replayed_batches\":{},\"replayed_finalizes\":{},",

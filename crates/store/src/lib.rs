@@ -57,6 +57,8 @@
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 pub mod io;
 
@@ -647,21 +649,26 @@ impl SnapshotStore {
 /// process restarts or a snapshot is cut), so the file supports
 /// [`SpillFile::reset`] instead of compaction.
 ///
-/// Reads go through an **LRU page cache** (fixed [`SPILL_PAGE`]-byte
-/// pages, byte budget configurable via
+/// Reads go through a **stamp-LRU page cache** (fixed
+/// [`SPILL_PAGE`]-byte pages, byte budget configurable via
 /// [`SpillFile::set_page_cache_budget`]): rehydration-heavy workloads
 /// re-read neighbouring entries of the same surface working set, and
 /// the cache turns those from one `seek` + `read` per CTrie match into
-/// memory copies. Append-only writes keep every page below the old EOF
-/// immutable; the single partially-filled EOF page is invalidated on
-/// [`SpillFile::append`] and the whole cache on [`SpillFile::reset`],
-/// so a cached read can never be stale. Checksum verification is
-/// unchanged — cached bytes still have to match their frame checksum.
+/// memory copies. The cache is a [`SharedPageCache`] — private per
+/// file by default, or shared across files (one process-wide byte
+/// budget) via [`SpillFile::open_with_cache`]. Append-only writes keep
+/// every page below the old EOF immutable; the single partially-filled
+/// EOF page is invalidated on [`SpillFile::append`] and all of this
+/// file's pages on [`SpillFile::reset`], so a cached read can never be
+/// stale. Checksum verification is unchanged — cached bytes still have
+/// to match their frame checksum.
 pub struct SpillFile {
     io: IoHandle,
     path: PathBuf,
     len: u64,
-    cache: PageCache,
+    cache: SharedPageCache,
+    /// This file's key space within `cache` (process-unique).
+    file_id: u64,
 }
 
 /// Frame header of one spill entry: `len u32 | checksum u64`.
@@ -673,45 +680,199 @@ pub const SPILL_PAGE: usize = 4096;
 /// Default [`SpillFile`] page-cache budget in bytes (64 pages).
 pub const DEFAULT_SPILL_CACHE_BYTES: usize = 64 * SPILL_PAGE;
 
-/// LRU page cache over a [`SpillFile`]'s contents. Recency is tracked
-/// with a monotone stamp per page; eviction scans for the minimum —
-/// the page count is small (budget / 4 KiB), so the scan is cheap and
-/// keeps the structure dependency-free.
-struct PageCache {
+/// Env var overriding the byte budget of the process-shared spill
+/// page cache ([`SharedPageCache::global`]; `0` disables caching).
+/// Read once, at first use of the global cache.
+pub const SPILL_CACHE_ENV: &str = "NGL_SPILL_CACHE_BYTES";
+
+/// Uniquely identifies one [`SpillFile`] within every cache it may
+/// share pages with — process-wide, never reused.
+static NEXT_SPILL_FILE_ID: AtomicU64 = AtomicU64::new(0);
+
+static GLOBAL_PAGE_CACHE: OnceLock<SharedPageCache> = OnceLock::new();
+
+/// LRU page cache shareable between [`SpillFile`]s. Pages are keyed
+/// `(file id, page index)` and arbitrate **one** byte budget with a
+/// monotone recency stamp per page (stamp-LRU): on overflow the
+/// coldest page across *all* participating files is evicted first, so
+/// a hot file naturally displaces an idle one. Eviction scans for the
+/// minimum stamp — the page count is small (budget / 4 KiB), so the
+/// scan is cheap and keeps the structure dependency-free.
+///
+/// Cloning shares the cache (it is an `Arc` internally). Each
+/// [`SpillFile`] defaults to a private cache;
+/// [`SpillFile::open_with_cache`] opts into sharing, and
+/// [`SharedPageCache::global`] is the process-wide instance whose
+/// budget [`SPILL_CACHE_ENV`] configures.
+#[derive(Clone)]
+pub struct SharedPageCache {
+    inner: Arc<Mutex<PageCacheInner>>,
+}
+
+struct PageCacheInner {
     budget: usize,
-    pages: BTreeMap<u64, (Vec<u8>, u64)>,
+    pages: BTreeMap<(u64, u64), (Vec<u8>, u64)>,
     bytes: usize,
     clock: u64,
     hits: u64,
     misses: u64,
 }
 
-impl PageCache {
-    fn new(budget: usize) -> Self {
-        Self { budget, pages: BTreeMap::new(), bytes: 0, clock: 0, hits: 0, misses: 0 }
-    }
-
-    /// The cached page, stamping recency on hit.
-    fn get(&mut self, ix: u64) -> Option<&[u8]> {
-        self.clock += 1;
-        let clock = self.clock;
-        match self.pages.get_mut(&ix) {
-            Some((page, stamp)) => {
-                *stamp = clock;
-                self.hits += 1;
-                Some(page.as_slice())
-            }
-            None => None,
+impl SharedPageCache {
+    /// A fresh, unshared cache with the given byte budget.
+    pub fn new(budget: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(PageCacheInner {
+                budget,
+                pages: BTreeMap::new(),
+                bytes: 0,
+                clock: 0,
+                hits: 0,
+                misses: 0,
+            })),
         }
     }
 
-    /// Caches a freshly loaded page, evicting least-recently-used pages
-    /// down to the byte budget (the new page itself always stays).
-    fn insert(&mut self, ix: u64, page: Vec<u8>) {
-        self.misses += 1;
-        self.clock += 1;
-        self.bytes = self.bytes.saturating_add(page.len());
-        self.pages.insert(ix, (page, self.clock));
+    /// The process-shared cache: one byte budget arbitrated across
+    /// every spill file opened against it. The budget comes from
+    /// [`SPILL_CACHE_ENV`] (read once, `0` disables caching),
+    /// defaulting to [`DEFAULT_SPILL_CACHE_BYTES`].
+    pub fn global() -> SharedPageCache {
+        GLOBAL_PAGE_CACHE
+            .get_or_init(|| {
+                let budget = std::env::var(SPILL_CACHE_ENV)
+                    .ok()
+                    .and_then(|raw| raw.trim().parse::<usize>().ok())
+                    .unwrap_or(DEFAULT_SPILL_CACHE_BYTES);
+                SharedPageCache::new(budget)
+            })
+            .clone()
+    }
+
+    /// A poisoned mutex only means another thread panicked mid-update;
+    /// the cache degrades to possibly-stale *accounting* (never stale
+    /// bytes — pages are immutable below EOF), so recover the guard
+    /// rather than propagate the panic.
+    fn lock(&self) -> MutexGuard<'_, PageCacheInner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Sets the byte budget (shared across all participating files).
+    /// `0` disables caching and drops every page; shrinking evicts
+    /// down to the new budget immediately.
+    pub fn set_budget(&self, bytes: usize) {
+        let mut inner = self.lock();
+        inner.budget = bytes;
+        if bytes == 0 {
+            inner.pages.clear();
+            inner.bytes = 0;
+        } else {
+            inner.evict_to_budget(None);
+        }
+    }
+
+    /// The current byte budget.
+    pub fn budget(&self) -> usize {
+        self.lock().budget
+    }
+
+    /// Cumulative `(hits, misses)` across every participating file.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Bytes currently held by cached pages (all files).
+    pub fn resident_bytes(&self) -> usize {
+        self.lock().bytes
+    }
+
+    /// Copies `take` bytes at `within` from the cached page into
+    /// `out`, stamping recency. `Ok(false)` = miss (not yet counted —
+    /// [`Self::insert_and_copy`] counts it when the load lands).
+    fn copy_span(
+        &self,
+        file_id: u64,
+        page_ix: u64,
+        within: usize,
+        take: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<bool, StoreError> {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.pages.get_mut(&(file_id, page_ix)) {
+            Some((page, stamp)) => {
+                *stamp = clock;
+                if within.saturating_add(take) > page.len() {
+                    return Err(StoreError::Corrupt("spill read past end of file"));
+                }
+                out.extend_from_slice(&page[within..within + take]);
+                inner.hits += 1;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Caches a freshly loaded page (counting the miss), copies
+    /// `take` bytes at `within` out of it, then evicts
+    /// least-recently-used pages down to the byte budget (the new page
+    /// itself always stays).
+    fn insert_and_copy(
+        &self,
+        file_id: u64,
+        page_ix: u64,
+        page: Vec<u8>,
+        within: usize,
+        take: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
+        if within.saturating_add(take) > page.len() {
+            return Err(StoreError::Corrupt("spill read past end of file"));
+        }
+        out.extend_from_slice(&page[within..within + take]);
+        let mut inner = self.lock();
+        inner.misses += 1;
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.bytes = inner.bytes.saturating_add(page.len());
+        if let Some((old, _)) = inner.pages.insert((file_id, page_ix), (page, clock)) {
+            // Another handle raced the same page in; keep accounting
+            // exact rather than leaking the replaced copy's bytes.
+            inner.bytes = inner.bytes.saturating_sub(old.len());
+        }
+        inner.evict_to_budget(Some((file_id, page_ix)));
+        Ok(())
+    }
+
+    /// Drops every page of `file_id` with index ≥ `from_page` — the
+    /// append-path invalidation for the partially filled EOF page.
+    fn invalidate_from(&self, file_id: u64, from_page: u64) {
+        let mut inner = self.lock();
+        let stale: Vec<(u64, u64)> = inner
+            .pages
+            .range((file_id, from_page)..=(file_id, u64::MAX))
+            .map(|(&k, _)| k)
+            .collect();
+        for k in stale {
+            if let Some((page, _)) = inner.pages.remove(&k) {
+                inner.bytes -= page.len();
+            }
+        }
+    }
+
+    /// Drops every page of `file_id` (reset path). Other files' pages
+    /// are untouched.
+    fn clear_file(&self, file_id: u64) {
+        self.invalidate_from(file_id, 0);
+    }
+}
+
+impl PageCacheInner {
+    /// Evicts minimum-stamp pages until `bytes <= budget`, never
+    /// evicting `keep` (the page an in-flight read still needs).
+    fn evict_to_budget(&mut self, keep: Option<(u64, u64)>) {
         while self.bytes > self.budget && self.pages.len() > 1 {
             // An empty scan is impossible while `len() > 1`, but a
             // bookkeeping bug here must degrade to an over-budget cache
@@ -724,29 +885,13 @@ impl PageCache {
             else {
                 break;
             };
-            if oldest == ix {
+            if Some(oldest) == keep {
                 break;
             }
             if let Some((page, _)) = self.pages.remove(&oldest) {
                 self.bytes -= page.len();
             }
         }
-    }
-
-    /// Drops every page with index ≥ `from_page` — the append-path
-    /// invalidation for the partially filled EOF page.
-    fn invalidate_from(&mut self, from_page: u64) {
-        let stale: Vec<u64> = self.pages.range(from_page..).map(|(&k, _)| k).collect();
-        for k in stale {
-            if let Some((page, _)) = self.pages.remove(&k) {
-                self.bytes -= page.len();
-            }
-        }
-    }
-
-    fn clear(&mut self) {
-        self.pages.clear();
-        self.bytes = 0;
     }
 }
 
@@ -758,52 +903,46 @@ impl SpillFile {
         Self::open_with_io(path, IoHandle::real())
     }
 
-    /// [`Self::open`] over an explicit IO layer.
+    /// [`Self::open`] over an explicit IO layer, with a private cache.
     pub fn open_with_io<P: AsRef<Path>>(path: P, io: IoHandle) -> Result<Self, StoreError> {
+        Self::open_with_cache(path, io, SharedPageCache::new(DEFAULT_SPILL_CACHE_BYTES))
+    }
+
+    /// [`Self::open_with_io`] reading through an explicit (possibly
+    /// shared) page cache — pass [`SharedPageCache::global`] to join
+    /// the process-wide budget.
+    pub fn open_with_cache<P: AsRef<Path>>(
+        path: P,
+        io: IoHandle,
+        cache: SharedPageCache,
+    ) -> Result<Self, StoreError> {
         let path = path.as_ref().to_path_buf();
         if let Some(parent) = path.parent() {
             io.create_dir_all(parent)?;
         }
         io.write_file(&path, &[])?;
-        Ok(Self { io, path, len: 0, cache: PageCache::new(DEFAULT_SPILL_CACHE_BYTES) })
+        let file_id = NEXT_SPILL_FILE_ID.fetch_add(1, Ordering::Relaxed);
+        Ok(Self { io, path, len: 0, cache, file_id })
     }
 
     /// Sets the page-cache byte budget. A budget of `0` disables the
     /// cache entirely — every read goes straight to the file, exactly
     /// the pre-cache behaviour. Shrinking the budget evicts down to it
-    /// immediately.
+    /// immediately. With a shared cache this adjusts the *shared*
+    /// budget — every participating file sees the change.
     pub fn set_page_cache_budget(&mut self, bytes: usize) {
-        self.cache.budget = bytes;
-        if bytes == 0 {
-            self.cache.clear();
-        } else {
-            while self.cache.bytes > bytes && self.cache.pages.len() > 1 {
-                // As in `PageCache::insert`: degrade to an over-budget
-                // cache rather than panic if the scan comes up empty.
-                let Some(oldest) = self
-                    .cache
-                    .pages
-                    .iter()
-                    .min_by_key(|(_, (_, stamp))| *stamp)
-                    .map(|(&k, _)| k)
-                else {
-                    break;
-                };
-                if let Some((page, _)) = self.cache.pages.remove(&oldest) {
-                    self.cache.bytes -= page.len();
-                }
-            }
-        }
+        self.cache.set_budget(bytes);
     }
 
-    /// `(hits, misses)` of the page cache since the file was opened.
+    /// `(hits, misses)` of the page cache — cache-wide totals when the
+    /// cache is shared.
     pub fn page_cache_stats(&self) -> (u64, u64) {
-        (self.cache.hits, self.cache.misses)
+        self.cache.stats()
     }
 
-    /// Bytes currently held by cached pages.
+    /// Bytes currently held by cached pages — cache-wide when shared.
     pub fn page_cache_resident_bytes(&self) -> usize {
-        self.cache.bytes
+        self.cache.resident_bytes()
     }
 
     /// Bytes currently in the file.
@@ -835,7 +974,7 @@ impl SpillFile {
         // now holds different bytes than a cached copy would. Even a
         // *failed* write may have deposited a torn prefix there, so
         // invalidate unconditionally.
-        self.cache.invalidate_from(offset / SPILL_PAGE as u64);
+        self.cache.invalidate_from(self.file_id, offset / SPILL_PAGE as u64);
         result?;
         self.len = self.len.saturating_add(frame.len() as u64);
         Ok(offset)
@@ -864,7 +1003,7 @@ impl SpillFile {
     /// cached pages (loading misses from disk). With a zero budget this
     /// degenerates to a single positional read.
     fn read_span(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
-        if self.cache.budget == 0 {
+        if self.cache.budget() == 0 {
             return self.io.read_at(&self.path, offset, len);
         }
         let mut out = Vec::with_capacity(len);
@@ -876,20 +1015,10 @@ impl SpillFile {
             let page_ix = pos / SPILL_PAGE as u64;
             let within = (pos % SPILL_PAGE as u64) as usize;
             let take = ((end - pos) as usize).min(SPILL_PAGE - within);
-            if self.cache.get(page_ix).is_none() {
+            if !self.cache.copy_span(self.file_id, page_ix, within, take, &mut out)? {
                 let page = self.load_page(page_ix)?;
-                self.cache.insert(page_ix, page);
+                self.cache.insert_and_copy(self.file_id, page_ix, page, within, take, &mut out)?;
             }
-            let Some((page, _)) = self.cache.pages.get(&page_ix) else {
-                // The insert above makes this unreachable; if cache
-                // bookkeeping ever breaks, surface a typed error
-                // instead of aborting ingestion.
-                return Err(StoreError::Corrupt("spill page missing from cache"));
-            };
-            if within + take > page.len() {
-                return Err(StoreError::Corrupt("spill read past end of file"));
-            }
-            out.extend_from_slice(&page[within..within + take]);
             pos += take as u64;
         }
         Ok(out)
@@ -911,7 +1040,7 @@ impl SpillFile {
     /// pages are dropped even when the truncation fails — stale reads
     /// are never served.
     pub fn reset(&mut self) -> Result<(), StoreError> {
-        self.cache.clear();
+        self.cache.clear_file(self.file_id);
         self.io.set_len(&self.path, 0)?;
         self.len = 0;
         Ok(())
@@ -1204,6 +1333,78 @@ mod tests {
         // New contents after reset are served correctly (no stale page).
         let b = spill.append(&[0xDD; 100]).unwrap();
         assert_eq!(spill.read(b).unwrap(), vec![0xDD; 100]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_cache_arbitrates_one_budget_across_files() {
+        let dir = tmpdir("spill-cache-shared");
+        let cache = SharedPageCache::new(2 * SPILL_PAGE);
+        let mut a =
+            SpillFile::open_with_cache(dir.join("a.dat"), IoHandle::real(), cache.clone()).unwrap();
+        let mut b =
+            SpillFile::open_with_cache(dir.join("b.dat"), IoHandle::real(), cache.clone()).unwrap();
+        let offs_a: Vec<u64> =
+            (0..4).map(|i| a.append(&vec![0x10 + i as u8; SPILL_PAGE]).unwrap()).collect();
+        let offs_b: Vec<u64> =
+            (0..4).map(|i| b.append(&vec![0x20 + i as u8; SPILL_PAGE]).unwrap()).collect();
+        for (&oa, &ob) in offs_a.iter().zip(&offs_b) {
+            a.read(oa).unwrap();
+            b.read(ob).unwrap();
+            // One budget across both files: resident bytes never exceed
+            // the shared cap plus one in-flight page.
+            assert!(
+                cache.resident_bytes() <= 2 * SPILL_PAGE + SPILL_PAGE,
+                "shared resident {} exceeded the shared budget",
+                cache.resident_bytes()
+            );
+        }
+        // Per-file views report the shared totals.
+        assert_eq!(a.page_cache_stats(), cache.stats());
+        assert_eq!(b.page_cache_stats(), cache.stats());
+        let (_, misses) = cache.stats();
+        assert!(misses >= 8, "every page load is a shared-cache miss");
+
+        // Resetting one file must not drop the other file's pages.
+        let before = cache.resident_bytes();
+        assert!(before > 0);
+        a.reset().unwrap();
+        let (_, misses_before) = cache.stats();
+        assert_eq!(b.read(offs_b[3]).unwrap(), vec![0x23; SPILL_PAGE]);
+        let (_, misses_after) = cache.stats();
+        assert_eq!(misses_before, misses_after, "b's hot page must survive a's reset");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_cache_keeps_the_hot_file_resident() {
+        let dir = tmpdir("spill-cache-hot");
+        let cache = SharedPageCache::new(2 * SPILL_PAGE);
+        let mut hot =
+            SpillFile::open_with_cache(dir.join("hot.dat"), IoHandle::real(), cache.clone())
+                .unwrap();
+        let mut cold =
+            SpillFile::open_with_cache(dir.join("cold.dat"), IoHandle::real(), cache.clone())
+                .unwrap();
+        let h = hot.append(&[0xAB; 64]).unwrap();
+        hot.read(h).unwrap();
+        // Stream uncached pages through the cold file while touching
+        // the hot file's page between loads: stamp-LRU keeps the
+        // recently-stamped hot page resident and evicts cold's older
+        // pages instead, even though cold is the bigger file.
+        for i in 0..6 {
+            let off = cold.append(&vec![i as u8; SPILL_PAGE]).unwrap();
+            cold.read(off).unwrap();
+            hot.read(h).unwrap();
+        }
+        assert!(
+            cache.resident_bytes() <= 2 * SPILL_PAGE + SPILL_PAGE,
+            "cold streaming must stay inside the shared budget"
+        );
+        let (_, misses_before) = cache.stats();
+        hot.read(h).unwrap();
+        let (_, misses_after) = cache.stats();
+        assert_eq!(misses_after, misses_before, "the hot page must still be cached");
         std::fs::remove_dir_all(&dir).ok();
     }
 }
